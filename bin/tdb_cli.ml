@@ -1,0 +1,147 @@
+(* tdb — command-line administration for TDB databases on disk.
+
+   A database lives in a directory holding the untrusted store ([db]), the
+   emulated one-way counter ([counter]), the secret-store image ([secret])
+   and the backup archive ([backups/]). *)
+
+open Cmdliner
+
+let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Database directory.")
+
+let open_db dir = Tdb.open_existing (Tdb.Device.at_dir dir)
+
+let human_bytes n =
+  if n > 1_048_576 then Printf.sprintf "%.2f MiB" (float_of_int n /. 1_048_576.)
+  else if n > 1024 then Printf.sprintf "%.1f KiB" (float_of_int n /. 1024.)
+  else Printf.sprintf "%d B" n
+
+(* --- init --- *)
+
+let init_cmd =
+  let run dir =
+    let device = Tdb.Device.at_dir dir in
+    let db = Tdb.create device in
+    Tdb.close db;
+    Printf.printf "initialized TDB database in %s\n" dir
+  in
+  Cmd.v (Cmd.info "init" ~doc:"Create a fresh database (overwrites any existing one).")
+    Term.(const run $ dir_arg)
+
+(* --- status --- *)
+
+let status_cmd =
+  let run dir =
+    let db = open_db dir in
+    let cs = db.Tdb.chunks in
+    let st = Tdb.Chunk_store.stats cs in
+    Printf.printf "database:     %s\n" dir;
+    Printf.printf "security:     %s\n" (if Tdb.Chunk_store.security_enabled cs then "on (encrypted, tamper-evident)" else "off");
+    Printf.printf "live data:    %s\n" (human_bytes (Tdb.Chunk_store.live_bytes cs));
+    Printf.printf "capacity:     %s (utilization %.0f%%)\n"
+      (human_bytes (Tdb.Chunk_store.capacity cs))
+      (100. *. Tdb.Chunk_store.utilization cs);
+    Printf.printf "store size:   %s\n" (human_bytes (Tdb.Chunk_store.store_size cs));
+    Printf.printf "counter:      %Ld\n" (Tdb.One_way_counter.read db.Tdb.device.Tdb.Device.counter);
+    Printf.printf "backups:      %s\n"
+      (match Tdb.Archival_store.list db.Tdb.device.Tdb.Device.archive with
+      | [] -> "(none)"
+      | l -> String.concat ", " l);
+    Printf.printf "session:      %d commits, %d checkpoints, %d cleaning passes\n" st.Tdb.Chunk_store.commits
+      st.Tdb.Chunk_store.checkpoints st.Tdb.Chunk_store.clean_passes;
+    Tdb.close db
+  in
+  Cmd.v (Cmd.info "status" ~doc:"Open a database (running recovery + tamper checks) and print its state.")
+    Term.(const run $ dir_arg)
+
+(* --- verify --- *)
+
+let verify_cmd =
+  let run dir =
+    match
+      let db = open_db dir in
+      (* walk every chunk through the Merkle tree *)
+      let snap = Tdb.Chunk_store.snapshot db.Tdb.chunks in
+      let n =
+        Tdb.Chunk_store.fold_snapshot db.Tdb.chunks snap ~init:0 ~f:(fun acc _cid _data -> acc + 1)
+      in
+      Tdb.Chunk_store.release_snapshot db.Tdb.chunks snap;
+      Tdb.close db;
+      n
+    with
+    | n ->
+        Printf.printf "OK: %d chunks validated against the Merkle tree, anchor and counter\n" n
+    | exception Tdb.Tamper_detected msg ->
+        Printf.printf "TAMPER DETECTED: %s\n" msg;
+        exit 2
+    | exception Tdb.Chunk_store.Recovery_failed msg ->
+        Printf.printf "UNRECOVERABLE: %s\n" msg;
+        exit 2
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Validate every chunk in the database against its hash tree.")
+    Term.(const run $ dir_arg)
+
+(* --- clean --- *)
+
+let clean_cmd =
+  let run dir =
+    let db = open_db dir in
+    let before = Tdb.Chunk_store.capacity db.Tdb.chunks in
+    Tdb.idle_maintenance db;
+    let after = Tdb.Chunk_store.capacity db.Tdb.chunks in
+    Printf.printf "cleaned: capacity %s -> %s\n" (human_bytes before) (human_bytes after);
+    Tdb.close db
+  in
+  Cmd.v (Cmd.info "clean" ~doc:"Run idle-time log cleaning.") Term.(const run $ dir_arg)
+
+(* --- backup --- *)
+
+let backup_cmd =
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Force a full backup (default: incremental).") in
+  let run dir full =
+    let db = open_db dir in
+    let id = if full then Tdb.backup_full db else Tdb.backup_incremental db in
+    Printf.printf "backup #%d written to %s/backups\n" id dir;
+    Tdb.close db
+  in
+  Cmd.v (Cmd.info "backup" ~doc:"Create a backup in the database's archival store.")
+    Term.(const run $ dir_arg $ full)
+
+(* --- restore --- *)
+
+let restore_cmd =
+  let src = Arg.(required & pos 0 (some string) None & info [] ~docv:"FROM" ~doc:"Source database directory (its backups/ archive is read).") in
+  let dst = Arg.(required & pos 1 (some string) None & info [] ~docv:"TO" ~doc:"Destination directory for the restored database.") in
+  let upto = Arg.(value & opt (some int) None & info [ "upto" ] ~docv:"N" ~doc:"Restore only up to backup N (point-in-time).") in
+  let run src dst upto =
+    (* the restored database must live under the same secret as the source:
+       copy the key file before the destination device materializes one *)
+    if not (Sys.file_exists dst) then Unix.mkdir dst 0o700;
+    let src_key = Filename.concat src "secret" and dst_key = Filename.concat dst "secret" in
+    if Sys.file_exists src_key && not (Sys.file_exists dst_key) then begin
+      let ic = open_in_bin src_key in
+      let data = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o600 dst_key in
+      output_string oc data;
+      close_out oc
+    end;
+    let from = Tdb.Device.at_dir src in
+    let target = Tdb.Device.at_dir dst in
+    match Tdb.restore ?upto ~from target with
+    | db ->
+        Printf.printf "restored into %s\n" dst;
+        Tdb.close db
+    | exception Tdb.Backup_store.Invalid_backup msg ->
+        Printf.printf "restore refused: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "restore" ~doc:"Restore a database from validated backups (newest, or --upto N).")
+    Term.(const run $ src $ dst $ upto)
+
+let () =
+  let doc = "TDB: a trusted database system for Digital Rights Management" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "tdb" ~doc ~version:"0.1.0")
+          [ init_cmd; status_cmd; verify_cmd; clean_cmd; backup_cmd; restore_cmd ]))

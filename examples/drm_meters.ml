@@ -1,0 +1,191 @@
+(* DRM contract enforcement — the paper's motivating scenario (Section 1).
+
+   A device stores licenses for digital goods. Each license carries a
+   contract: Pay_per_view (debits a prepaid balance), Free_after_paid
+   ("free after first ten paid views"), or Subscription. Consuming a good
+   updates meters, the account balance and an audit trail in ONE
+   transaction — the state that must survive crashes and resist tampering.
+
+   Run with: dune exec examples/drm_meters.exe *)
+
+type contract =
+  | Pay_per_view of int (* price in cents *)
+  | Free_after_paid of { price : int; paid_quota : int }
+  | Subscription
+
+type license = {
+  content_id : string;
+  contract : contract;
+  mutable view_count : int;
+  content_key : string; (* decryption key for the good: must never leak *)
+}
+
+type account = { mutable balance : int }
+type audit = { seq : int; event : string }
+
+(* --- persistent classes --- *)
+
+let license_cls : license Tdb.Obj_class.t =
+  let module P = Tdb.Pickle in
+  Tdb.Obj_class.define ~name:"drm.license"
+    ~pickle:(fun w l ->
+      P.string w l.content_id;
+      (match l.contract with
+      | Pay_per_view price -> P.byte w 0; P.int w price
+      | Free_after_paid { price; paid_quota } -> P.byte w 1; P.int w price; P.int w paid_quota
+      | Subscription -> P.byte w 2);
+      P.int w l.view_count;
+      P.string w l.content_key)
+    ~unpickle:(fun ~version:_ r ->
+      let content_id = P.read_string r in
+      let contract =
+        match P.read_byte r with
+        | 0 -> Pay_per_view (P.read_int r)
+        | 1 ->
+            let price = P.read_int r in
+            let paid_quota = P.read_int r in
+            Free_after_paid { price; paid_quota }
+        | _ -> Subscription
+      in
+      let view_count = P.read_int r in
+      let content_key = P.read_string r in
+      { content_id; contract; view_count; content_key })
+    ()
+
+let account_cls : account Tdb.Obj_class.t =
+  Tdb.Obj_class.define ~name:"drm.account"
+    ~pickle:(fun w a -> Tdb.Pickle.int w a.balance)
+    ~unpickle:(fun ~version:_ r -> { balance = Tdb.Pickle.read_int r })
+    ()
+
+let audit_cls : audit Tdb.Obj_class.t =
+  let module P = Tdb.Pickle in
+  Tdb.Obj_class.define ~name:"drm.audit"
+    ~pickle:(fun w a -> P.int w a.seq; P.string w a.event)
+    ~unpickle:(fun ~version:_ r ->
+      let seq = P.read_int r in
+      let event = P.read_string r in
+      { seq; event })
+    ()
+
+(* --- indexes --- *)
+
+let by_content =
+  Tdb.Indexer.make ~name:"content" ~key:Tdb.Gkey.string ~extract:(fun l -> l.content_id) ~unique:true
+    ~impl:Tdb.Indexer.Hash ()
+
+(* a functional index on a *derived* value: how many views remain free *)
+let by_views = Tdb.Indexer.make ~name:"views" ~key:Tdb.Gkey.int ~extract:(fun l -> l.view_count) ()
+let license_ixs = [ Tdb.Indexer.Generic by_content; Tdb.Indexer.Generic by_views ]
+let audit_ix = Tdb.Indexer.make ~name:"seq" ~key:Tdb.Gkey.int ~extract:(fun a -> a.seq) ~impl:Tdb.Indexer.List ()
+
+exception Payment_required of string
+exception Insufficient_funds
+
+(* --- the consume operation: one atomic transaction --- *)
+
+let consume db (content_id : string) : string =
+  Tdb.with_ctxn db (fun ct ->
+      let licenses = Tdb.Cstore.open_collection ct ~name:"licenses" ~schema:license_cls ~indexers:license_ixs in
+      let audits = Tdb.Cstore.open_collection ct ~name:"audit" ~schema:audit_cls ~indexers:[ Tdb.Indexer.Generic audit_ix ] in
+      let it = Tdb.Cstore.exact ct licenses by_content content_id in
+      if Tdb.Cstore.at_end it then begin
+        Tdb.Cstore.close it;
+        raise (Payment_required (content_id ^ ": no license"))
+      end;
+      let l = Tdb.Cstore.write it in
+      let price =
+        match l.contract with
+        | Subscription -> 0
+        | Pay_per_view p -> p
+        | Free_after_paid { price; paid_quota } -> if l.view_count < paid_quota then price else 0
+      in
+      if price > 0 then begin
+        let acct_oid = Option.get (Tdb.Object_store.root (Tdb.Cstore.txn ct) "account") in
+        let acct = Tdb.Object_store.deref (Tdb.Object_store.open_writable (Tdb.Cstore.txn ct) account_cls acct_oid) in
+        if acct.balance < price then begin
+          Tdb.Cstore.close it;
+          raise Insufficient_funds
+        end;
+        acct.balance <- acct.balance - price
+      end;
+      l.view_count <- l.view_count + 1;
+      let key = l.content_key in
+      Tdb.Cstore.advance it;
+      Tdb.Cstore.close it;
+      ignore
+        (Tdb.Cstore.insert ct audits
+           { seq = Tdb.Cstore.size ct audits; event = Printf.sprintf "view %s (charged %d)" content_id price });
+      key)
+
+let balance db =
+  Tdb.with_txn db (fun t ->
+      let oid = Option.get (Tdb.Object_store.root t "account") in
+      (Tdb.Object_store.deref (Tdb.Object_store.open_readonly t account_cls oid)).balance)
+
+let () =
+  let _attacker, device = Tdb.Device.in_memory ~seed:"drm-device" () in
+  let db = Tdb.create device in
+
+  (* provision the device: account + licenses *)
+  Tdb.with_ctxn db (fun ct ->
+      let licenses = Tdb.Cstore.create_collection ct ~name:"licenses" ~schema:license_cls by_content in
+      Tdb.Cstore.create_index ct licenses by_views;
+      ignore (Tdb.Cstore.create_collection ct ~name:"audit" ~schema:audit_cls audit_ix);
+      ignore
+        (Tdb.Cstore.insert ct licenses
+           { content_id = "blockbuster.mp4"; contract = Pay_per_view 399; view_count = 0; content_key = "k1" });
+      ignore
+        (Tdb.Cstore.insert ct licenses
+           {
+             content_id = "hit-single.mp3";
+             contract = Free_after_paid { price = 99; paid_quota = 3 };
+             view_count = 0;
+             content_key = "k2";
+           });
+      ignore
+        (Tdb.Cstore.insert ct licenses
+           { content_id = "newspaper.pdf"; contract = Subscription; view_count = 0; content_key = "k3" });
+      let acct = Tdb.Object_store.insert (Tdb.Cstore.txn ct) account_cls { balance = 1000 } in
+      Tdb.Object_store.set_root (Tdb.Cstore.txn ct) "account" (Some acct));
+
+  Printf.printf "balance: %d cents\n" (balance db);
+
+  (* consume goods under their contracts *)
+  ignore (consume db "blockbuster.mp4");
+  Printf.printf "watched blockbuster (pay-per-view): balance %d\n" (balance db);
+
+  for i = 1 to 5 do
+    ignore (consume db "hit-single.mp3");
+    Printf.printf "played hit-single #%d: balance %d\n" i (balance db)
+  done;
+
+  ignore (consume db "newspaper.pdf");
+  Printf.printf "read newspaper (subscription): balance %d\n" (balance db);
+
+  (* contract enforcement: drain the balance and watch payment fail *)
+  (match
+     for _ = 1 to 10 do
+       ignore (consume db "blockbuster.mp4")
+     done
+   with
+  | () -> ()
+  | exception Insufficient_funds -> print_endline "payment correctly refused once the balance ran out");
+
+  (* report usage: range query over the derived views index *)
+  Tdb.with_ctxn db (fun ct ->
+      let licenses = Tdb.Cstore.open_collection ct ~name:"licenses" ~schema:license_cls ~indexers:license_ixs in
+      let it = Tdb.Cstore.range ct licenses by_views ~min:(Some 1) ~max:None in
+      print_endline "usage report (goods with at least one view):";
+      while not (Tdb.Cstore.at_end it) do
+        let l = Tdb.Cstore.read it in
+        Printf.printf "  %-18s %d views\n" l.content_id l.view_count;
+        Tdb.Cstore.advance it
+      done;
+      Tdb.Cstore.close it);
+
+  (* the usage data has monetary value: back it up *)
+  let backup_id = Tdb.backup_full db in
+  Printf.printf "backup %d written to the archival store\n" backup_id;
+  Tdb.close db;
+  print_endline "drm_meters: ok"

@@ -1,0 +1,45 @@
+(** The backup store (paper Figure 1, Section 2): creates and securely
+    restores full and incremental database backups via the archival store.
+
+    Backups are built from copy-on-write chunk-store snapshots (foreground
+    transactions keep running); incrementals are Merkle-pruned diffs of
+    two snapshots, so their cost is proportional to what changed. Every
+    stream is encrypted and MAC'd under keys derived from the platform
+    secret store, and the sequence of backups is hash-chained: restore
+    applies only a valid full backup followed by its incrementals {e in
+    the order they were created} — gaps, reordering, tampering and foreign
+    devices are all rejected ({!Invalid_backup}).
+
+    Chain state (last id, chain value, base snapshot) persists inside the
+    database itself at a reserved chunk id, under TDB's own tamper
+    protection. *)
+
+exception Invalid_backup of string
+
+type t
+
+val create :
+  secret:Tdb_platform.Secret_store.t ->
+  archive:Tdb_platform.Archival_store.t ->
+  Tdb_chunk.Chunk_store.t ->
+  t
+
+val backup_full : t -> int
+(** Write a full backup; resets the incremental chain. Returns its id. *)
+
+val backup_incremental : t -> int
+(** Write an incremental against the previous backup (falls back to a full
+    backup when there is no base). Returns its id. *)
+
+val restore :
+  secret:Tdb_platform.Secret_store.t ->
+  archive:Tdb_platform.Archival_store.t ->
+  ?upto:int ->
+  into:Tdb_chunk.Chunk_store.t ->
+  unit ->
+  int
+(** Validated restore into a {e fresh} chunk store: applies the newest full
+    backup with id ≤ [upto] (default: newest overall) and its incrementals
+    in sequence, re-verifying MACs and the hash chain across streams.
+    Returns the id of the last backup applied.
+    @raise Invalid_backup on missing/forged/out-of-order streams. *)

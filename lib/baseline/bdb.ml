@@ -1,0 +1,140 @@
+(** The baseline embedded database engine — an architectural stand-in for
+    Berkeley DB 3.x (paper Section 7), built from the classic ingredients:
+    4 KiB pages, a buffer pool, per-table B+trees, a write-ahead log with
+    per-commit fsync, and periodic checkpoints that flush dirty pages and
+    truncate the log.
+
+    Matches Berkeley DB's *data model* limits the paper leans on: one map
+    per table (single index, immutable keys), untyped byte keys/values, and
+    no protection whatsoever against a malicious store.
+
+    By default the engine does not checkpoint on its own — Berkeley DB
+    "does not checkpoint the log during the benchmark" (paper Figure 11
+    discussion), which is what makes its database footprint balloon; set
+    [checkpoint_wal_bytes] to opt into automatic checkpoints. *)
+
+type config = {
+  cache_bytes : int;
+  checkpoint_wal_bytes : int option; (* auto-checkpoint threshold; None = manual only *)
+}
+
+let default_config = { cache_bytes = 4 * 1024 * 1024; checkpoint_wal_bytes = None }
+
+type t = {
+  pager : Pager.t;
+  wal : Wal.t;
+  cfg : config;
+  mutable commits : int;
+  mutable checkpoints : int;
+}
+
+type txn = {
+  env : t;
+  mutable ops_rev : Wal.op list;
+  overlay : (string * string, string option) Hashtbl.t; (* (table,key) -> value/deleted *)
+  mutable active : bool;
+}
+
+let apply_op (t : t) (op : Wal.op) : unit =
+  match op with
+  | Wal.Put { table; key; value; _ } ->
+      let root =
+        match Pager.table_root t.pager table with
+        | Some r -> r
+        | None ->
+            let f = Pager.alloc t.pager (Page.Leaf { items = []; next = 0 }) in
+            Pager.set_table_root t.pager table f.Pager.page_id;
+            f.Pager.page_id
+      in
+      let root' = Btree.insert t.pager ~root key value in
+      if root' <> root then Pager.set_table_root t.pager table root'
+  | Wal.Del { table; key; _ } -> (
+      match Pager.table_root t.pager table with None -> () | Some root -> Btree.delete t.pager root key )
+
+(** Open (or create) a database over a data store and a WAL store, running
+    redo recovery: replay every intact committed transaction over the last
+    checkpointed page image. *)
+let open_ ?(config = default_config) ~(data : Tdb_platform.Untrusted_store.t)
+    ~(wal : Tdb_platform.Untrusted_store.t) () : t =
+  let pager = Pager.create data ~cache_pages:(config.cache_bytes / Page.page_size) in
+  let w = Wal.create wal in
+  let t = { pager; wal = w; cfg = config; commits = 0; checkpoints = 0 } in
+  Wal.replay w ~f:(fun ops -> List.iter (apply_op t) ops);
+  t
+
+(** Checkpoint: flush all dirty pages + meta, then truncate the log. *)
+let checkpoint (t : t) : unit =
+  Pager.flush_all t.pager;
+  Wal.reset t.wal;
+  t.checkpoints <- t.checkpoints + 1
+
+let close (t : t) : unit =
+  checkpoint t;
+  Tdb_platform.Untrusted_store.close t.pager.Pager.store;
+  Tdb_platform.Untrusted_store.close t.wal.Wal.store
+
+let begin_ (t : t) : txn = { env = t; ops_rev = []; overlay = Hashtbl.create 16; active = true }
+
+let check_active (x : txn) = if not x.active then invalid_arg "Bdb: transaction is finished"
+
+let tree_value (t : t) ~table ~key : string option =
+  match Pager.table_root t.pager table with None -> None | Some root -> Btree.search t.pager root key
+
+let put (x : txn) ~(table : string) ~(key : string) ~(value : string) : unit =
+  check_active x;
+  (* records must fit comfortably in a page (no overflow pages in this
+     baseline); reject early rather than corrupt a B-tree node *)
+  if String.length key + String.length value > Page.content_budget / 2 then
+    invalid_arg "Bdb.put: record too large for a page";
+  (* before-image logging, as Berkeley DB's undo/redo records do *)
+  let old = tree_value x.env ~table ~key in
+  x.ops_rev <- Wal.Put { table; key; old; value } :: x.ops_rev;
+  Hashtbl.replace x.overlay (table, key) (Some value)
+
+let del (x : txn) ~(table : string) ~(key : string) : unit =
+  check_active x;
+  let old = tree_value x.env ~table ~key in
+  x.ops_rev <- Wal.Del { table; key; old } :: x.ops_rev;
+  Hashtbl.replace x.overlay (table, key) None
+
+let get (x : txn) ~(table : string) ~(key : string) : string option =
+  check_active x;
+  match Hashtbl.find_opt x.overlay (table, key) with
+  | Some v -> v
+  | None -> (
+      match Pager.table_root x.env.pager table with
+      | None -> None
+      | Some root -> Btree.search x.env.pager root key )
+
+let commit ?(durable = true) (x : txn) : unit =
+  check_active x;
+  x.active <- false;
+  let ops = List.rev x.ops_rev in
+  if ops <> [] then begin
+    (* WAL first, then apply to the (in-memory) page image *)
+    Wal.append x.env.wal ~durable ops;
+    List.iter (apply_op x.env) ops;
+    x.env.commits <- x.env.commits + 1;
+    match x.env.cfg.checkpoint_wal_bytes with
+    | Some limit when Wal.size x.env.wal > limit -> checkpoint x.env
+    | _ -> ()
+  end
+
+let abort (x : txn) : unit =
+  check_active x;
+  x.active <- false
+
+(** In-order fold over a table (cursor equivalent). The accumulator is the
+    (positional) last argument so the optional bounds get erased at full
+    application. *)
+let fold (t : t) ~(table : string) ?min ?max ~(f : 'a -> string -> string -> 'a) (init : 'a) : 'a =
+  match Pager.table_root t.pager table with
+  | None -> init
+  | Some root -> Btree.fold t.pager ~root ?min ?max ~init ~f
+
+(** Total on-disk footprint: data file plus log (the paper's Figure 11
+    "database size" for Berkeley DB includes its uncheckpointed log). *)
+let db_size (t : t) : int =
+  Pager.data_size t.pager + Tdb_platform.Untrusted_store.size t.wal.Wal.store
+
+let stats (t : t) = (t.commits, t.checkpoints, t.pager.Pager.pages_written)

@@ -1,0 +1,73 @@
+(** The baseline embedded database engine — an architectural stand-in for
+    Berkeley DB 3.x (paper Section 7), built from the classic ingredients:
+    4 KiB pages, a buffer pool with LRU steal, per-table B+trees, a
+    write-ahead log carrying before+after images with per-commit force,
+    and checkpoints that flush dirty pages and truncate the log.
+
+    It deliberately matches the data-model limits the paper leans on: one
+    map per table, untyped byte keys/values, and no protection whatsoever
+    against a malicious store. By default it never checkpoints on its own —
+    Berkeley DB "does not checkpoint the log during the benchmark" — which
+    is what makes its on-disk footprint balloon (Figure 11, right).
+
+    Recovery caveat (benchmark comparator, not a product): redo-only
+    logical recovery is exact when the pool has not stolen dirty pages
+    since the last checkpoint; long benchmark runs steal. *)
+
+type config = {
+  cache_bytes : int;
+  checkpoint_wal_bytes : int option;  (** auto-checkpoint threshold; [None] = manual only *)
+}
+
+val default_config : config
+
+type t = {
+  pager : Pager.t;
+  wal : Wal.t;
+  cfg : config;
+  mutable commits : int;
+  mutable checkpoints : int;
+}
+(** Exposed so the benchmark harness can read pool/WAL statistics. *)
+
+val open_ :
+  ?config:config ->
+  data:Tdb_platform.Untrusted_store.t ->
+  wal:Tdb_platform.Untrusted_store.t ->
+  unit ->
+  t
+(** Open (or create), replaying every intact committed WAL record over the
+    last checkpointed page image. *)
+
+val checkpoint : t -> unit
+(** Flush all dirty pages + the meta page, then truncate the log. *)
+
+val close : t -> unit
+
+(** {1 Transactions} *)
+
+type txn
+
+val begin_ : t -> txn
+val put : txn -> table:string -> key:string -> value:string -> unit
+val del : txn -> table:string -> key:string -> unit
+
+val get : txn -> table:string -> key:string -> string option
+(** Sees the transaction's own uncommitted writes. *)
+
+val commit : ?durable:bool -> txn -> unit
+(** WAL append (+force if [durable]) then apply to the page image. *)
+
+val abort : txn -> unit
+
+(** {1 Cursors and introspection} *)
+
+val fold :
+  t -> table:string -> ?min:string -> ?max:string -> f:('a -> string -> string -> 'a) -> 'a -> 'a
+(** In-order fold over a table (inclusive bounds). *)
+
+val db_size : t -> int
+(** Data file plus log — the footprint Figure 11 reports. *)
+
+val stats : t -> int * int * int
+(** (commits, checkpoints, pages written). *)

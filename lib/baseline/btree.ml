@@ -1,0 +1,136 @@
+(** B+tree over the pager: the baseline's one-index-per-table access method
+    (Berkeley DB's data model supports a single index per collection with
+    immutable keys — paper Sections 7.1 and 8). *)
+
+open Page
+
+let rec search (pager : Pager.t) (page_id : int) (key : string) : string option =
+  match (Pager.get pager page_id).Pager.node with
+  | Leaf l -> List.assoc_opt key l.items
+  | Internal n ->
+      let rec pick keys kids =
+        match (keys, kids) with
+        | [], [ kid ] -> kid
+        | k :: krest, kid :: kidrest -> if key < k then kid else pick krest kidrest
+        | _ -> failwith "Btree: malformed internal node"
+      in
+      search pager (pick n.keys n.kids) key
+
+(* split helpers *)
+let split_at l n =
+  let rec go acc i = function
+    | rest when i = n -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (i + 1) rest
+  in
+  go [] 0 l
+
+(** Insert/overwrite; returns [Some (sep, right_page)] on split. *)
+let rec insert_rec pager page_id key value : (string * int) option =
+  let frame = Pager.get pager page_id in
+  match frame.Pager.node with
+  | Leaf l ->
+      let rec place = function
+        | [] -> [ (key, value) ]
+        | (k, v) :: rest ->
+            if key = k then (key, value) :: rest
+            else if key < k then (key, value) :: (k, v) :: rest
+            else (k, v) :: place rest
+      in
+      l.items <- place l.items;
+      Pager.mark_dirty frame;
+      if estimate frame.Pager.node <= content_budget then None
+      else begin
+        let at = List.length l.items / 2 in
+        let left, right = split_at l.items at in
+        let rf = Pager.alloc pager (Leaf { items = right; next = l.next }) in
+        l.items <- left;
+        l.next <- rf.Pager.page_id;
+        Some (fst (List.hd right), rf.Pager.page_id)
+      end
+  | Internal n ->
+      let rec pick i keys =
+        match keys with [] -> i | k :: rest -> if key < k then i else pick (i + 1) rest
+      in
+      let slot = pick 0 n.keys in
+      let child = List.nth n.kids slot in
+      (match insert_rec pager child key value with
+      | None -> None
+      | Some (sep, right) ->
+          let ks1, ks2 = split_at n.keys slot in
+          let kd1, kd2 = split_at n.kids (slot + 1) in
+          n.keys <- ks1 @ (sep :: ks2);
+          n.kids <- kd1 @ (right :: kd2);
+          Pager.mark_dirty frame;
+          if estimate frame.Pager.node <= content_budget then None
+          else begin
+            let at = List.length n.keys / 2 in
+            let lk, rest = split_at n.keys at in
+            let sep', rk = (List.hd rest, List.tl rest) in
+            let lkid, rkid = split_at n.kids (at + 1) in
+            let rf = Pager.alloc pager (Internal { keys = rk; kids = rkid }) in
+            n.keys <- lk;
+            n.kids <- lkid;
+            Some (sep', rf.Pager.page_id)
+          end)
+
+(** Insert into the tree rooted at [root]; returns the (possibly new) root
+    page id. *)
+let insert pager ~(root : int) (key : string) (value : string) : int =
+  match insert_rec pager root key value with
+  | None -> root
+  | Some (sep, right) ->
+      (Pager.alloc pager (Internal { keys = [ sep ]; kids = [ root; right ] })).Pager.page_id
+
+(** Delete a key (lazy: no rebalancing). *)
+let rec delete pager (page_id : int) (key : string) : unit =
+  let frame = Pager.get pager page_id in
+  match frame.Pager.node with
+  | Leaf l ->
+      if List.mem_assoc key l.items then begin
+        l.items <- List.remove_assoc key l.items;
+        Pager.mark_dirty frame
+      end
+  | Internal n ->
+      let rec pick keys kids =
+        match (keys, kids) with
+        | [], [ kid ] -> kid
+        | k :: krest, kid :: kidrest -> if key < k then kid else pick krest kidrest
+        | _ -> failwith "Btree: malformed internal node"
+      in
+      delete pager (pick n.keys n.kids) key
+
+(** In-order fold over [min, max] (inclusive; [None] = open). *)
+let fold pager ~(root : int) ?(min : string option) ?(max : string option) ~(init : 'a)
+    ~(f : 'a -> string -> string -> 'a) : 'a =
+  (* descend to the first relevant leaf *)
+  let rec seek page_id =
+    match (Pager.get pager page_id).Pager.node with
+    | Leaf _ -> page_id
+    | Internal n ->
+        let rec pick keys kids =
+          match (keys, kids) with
+          | [], [ kid ] -> kid
+          | k :: krest, kid :: kidrest -> (
+              match min with Some m when m >= k -> pick krest kidrest | _ -> kid)
+          | _ -> failwith "Btree: malformed internal node"
+        in
+        seek (pick n.keys n.kids)
+  in
+  let acc = ref init and leaf = ref (Some (seek root)) in
+  (try
+     while !leaf <> None do
+       match (Pager.get pager (Option.get !leaf)).Pager.node with
+       | Internal _ -> failwith "Btree: leaf chain reached internal node"
+       | Leaf l ->
+           List.iter
+             (fun (k, v) ->
+               let below = match min with Some m -> k < m | None -> false in
+               let above = match max with Some m -> k > m | None -> false in
+               if above then raise Exit;
+               if not below then acc := f !acc k v)
+             l.items;
+           leaf := (if l.next = 0 then None else Some l.next)
+     done
+   with Exit -> ());
+  !acc

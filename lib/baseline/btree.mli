@@ -1,0 +1,20 @@
+(** B+tree over the pager: the baseline's one-index-per-table access
+    method (Berkeley DB's single-index, immutable-key data model). Keys
+    order lexicographically; deletion is lazy (no rebalancing). *)
+
+val search : Pager.t -> int -> string -> string option
+
+val insert : Pager.t -> root:int -> string -> string -> int
+(** Insert/overwrite; returns the (possibly new) root page id. *)
+
+val delete : Pager.t -> int -> string -> unit
+
+val fold :
+  Pager.t ->
+  root:int ->
+  ?min:string ->
+  ?max:string ->
+  init:'a ->
+  f:('a -> string -> string -> 'a) ->
+  'a
+(** In-order fold over the inclusive bounds. *)

@@ -1,0 +1,65 @@
+(** Page layout for the baseline engine.
+
+    The baseline models Berkeley DB's architecture (paper Section 7): a
+    conventional page-oriented store — fixed-size pages, a buffer pool, a
+    write-ahead log — in contrast to TDB's log-structured variable-sized
+    chunks. Pages hold B+tree nodes serialized into fixed slots; a page is
+    the unit of I/O, so a 100-byte record update dirties (and eventually
+    writes) a full page, which is precisely the overhead the paper measures
+    against. *)
+
+let page_size = 4096
+
+(** Soft budget for node contents; nodes split before serialization could
+    overflow the page. *)
+let content_budget = page_size - 96
+
+type node =
+  | Leaf of { mutable items : (string * string) list (* sorted by key *); mutable next : int (* 0 = none *) }
+  | Internal of { mutable keys : string list; mutable kids : int list (* |kids| = |keys|+1 *) }
+
+(** Rough serialized-size estimate used for split decisions. *)
+let estimate = function
+  | Leaf l -> List.fold_left (fun acc (k, v) -> acc + String.length k + String.length v + 8) 16 l.items
+  | Internal n ->
+      List.fold_left (fun acc k -> acc + String.length k + 8) 16 n.keys + (8 * List.length n.kids)
+
+let serialize (n : node) : string =
+  let module P = Tdb_pickle.Pickle in
+  let w = P.writer () in
+  (match n with
+  | Leaf l ->
+      P.byte w 1;
+      P.uint w l.next;
+      P.list w
+        (fun w (k, v) ->
+          P.string w k;
+          P.string w v)
+        l.items
+  | Internal i ->
+      P.byte w 2;
+      P.list w P.string i.keys;
+      P.list w (fun w kid -> P.uint w kid) i.kids);
+  let body = P.contents w in
+  if String.length body > page_size then
+    failwith (Printf.sprintf "Page.serialize: node overflows page (%d bytes)" (String.length body));
+  body ^ String.make (page_size - String.length body) '\000'
+
+let deserialize (s : string) : node =
+  let module P = Tdb_pickle.Pickle in
+  let r = P.reader s in
+  match P.read_byte r with
+  | 1 ->
+      let next = P.read_uint r in
+      let items =
+        P.read_list r (fun r ->
+            let k = P.read_string r in
+            let v = P.read_string r in
+            (k, v))
+      in
+      Leaf { items; next }
+  | 2 ->
+      let keys = P.read_list r P.read_string in
+      let kids = P.read_list r P.read_uint in
+      Internal { keys; kids }
+  | b -> failwith (Printf.sprintf "Page.deserialize: bad node tag %d" b)

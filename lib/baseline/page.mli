@@ -1,0 +1,19 @@
+(** Page layout for the baseline engine: fixed 4 KiB pages holding
+    serialized B+tree nodes — the unit of I/O, so a 100-byte record update
+    eventually costs a full-page write (the overhead the paper measures
+    against). *)
+
+val page_size : int
+val content_budget : int
+
+type node =
+  | Leaf of { mutable items : (string * string) list; mutable next : int (** 0 = none *) }
+  | Internal of { mutable keys : string list; mutable kids : int list }
+
+val estimate : node -> int
+(** Serialized-size estimate for split decisions. *)
+
+val serialize : node -> string
+(** Exactly {!page_size} bytes. @raise Failure on overflow. *)
+
+val deserialize : string -> node

@@ -1,0 +1,21 @@
+(** Write-ahead log for the baseline engine: one checksummed record per
+    committed transaction carrying before+after images (as Berkeley DB's
+    undo/redo records do — this reproduces its per-transaction log volume),
+    forced on durable commit, truncated at checkpoints. *)
+
+type op =
+  | Put of { table : string; key : string; old : string option; value : string }
+  | Del of { table : string; key : string; old : string option }
+
+type t = { store : Tdb_platform.Untrusted_store.t; mutable tail : int; mutable records : int }
+
+val create : Tdb_platform.Untrusted_store.t -> t
+val append : t -> durable:bool -> op list -> unit
+
+val replay : t -> f:(op list -> unit) -> unit
+(** All intact records from the start; stops at the first torn record. *)
+
+val reset : t -> unit
+(** Truncate after a checkpoint made the page image durable. *)
+
+val size : t -> int

@@ -1,0 +1,815 @@
+(** The chunk store (paper Section 3): trusted storage for named,
+    variable-sized byte sequences on top of an untrusted store.
+
+    Guarantees:
+    - secrecy: every stored payload is encrypted (when security is on);
+    - tamper detection: payloads are validated against the Merkle tree
+      embedded in the location map, whose root lives in the MAC'd anchor;
+    - replay detection: durable commits advance the platform one-way
+      counter, and recovery cross-checks it against the committed state;
+    - atomicity: a batch of writes/deallocates commits atomically with
+      respect to crashes, durably or nondurably;
+    - log-structured storage with cleaning, bounded by a configurable
+      maximum utilization (grow-vs-clean policy, paper Section 7.3);
+    - cheap copy-on-write snapshots, foldable and diffable (the substrate
+      for full/incremental backups).
+
+    Concurrency: the chunk store itself is single-threaded; the object
+    store serializes access with its state mutex (paper Section 4.2.3). *)
+
+open Types
+
+type op = Op_write of string | Op_dealloc
+
+type snapshot = { snap_root : entry option (* None = empty database *); snap_seq : int; snap_segs : int list }
+
+type stats = {
+  mutable commits : int;
+  mutable durable_commits : int;
+  mutable checkpoints : int;
+  mutable clean_passes : int;
+  mutable segments_cleaned : int;
+  mutable chunks_relocated : int;
+  mutable tampers : int;
+  mutable bytes_data : int; (* chunk-record payload bytes appended *)
+  mutable bytes_map : int; (* map-node payload bytes appended *)
+  mutable bytes_commit : int; (* commit-record payload bytes appended *)
+  mutable grow_policy : int;
+  mutable grow_fallback : int;
+  mutable grow_backstop : int;
+}
+
+type t = {
+  cfg : Config.t;
+  sec : Security.t;
+  counter : Tdb_platform.One_way_counter.t;
+  store : Tdb_platform.Untrusted_store.t;
+  log : Log.t;
+  map : Location_map.t;
+  pending : (chunk_id, op) Hashtbl.t; (* current batch *)
+  allocated : (chunk_id, unit) Hashtbl.t; (* allocated, never yet written *)
+  mutable next_id : chunk_id;
+  mutable seq : int; (* last commit sequence number *)
+  mutable chain : string; (* commit-chain MAC value *)
+  mutable last_counter : int64;
+  mutable epoch : int; (* anchor epoch *)
+  mutable commits_since_cp : int;
+  mutable snapshots : (int * snapshot) list;
+  mutable next_snap_id : int;
+  mutable cleaning : bool;
+  stats : stats;
+}
+
+let fresh_stats () =
+  { commits = 0; durable_commits = 0; checkpoints = 0; clean_passes = 0; segments_cleaned = 0;
+    chunks_relocated = 0; tampers = 0; bytes_data = 0; bytes_map = 0; bytes_commit = 0; grow_policy = 0; grow_fallback = 0; grow_backstop = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Low-level record I/O                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Validated fetch used by the location map: read, check Merkle label,
+    decrypt. *)
+let fetch t : Location_map.fetch =
+ fun ~what (e : entry) ->
+  let stored = Log.read_payload t.log e in
+  (try Security.check_label t.sec ~expected:e.hash stored ~what with
+  | Tamper_detected _ as exn ->
+      t.stats.tampers <- t.stats.tampers + 1;
+      raise exn);
+  Security.unseal t.sec stored
+
+(* Grow conservatively: the utilization policy (ensure_space) is the only
+   place that deliberately trades space for cleaning effort; this backstop
+   merely keeps appends total without inflating the store. *)
+let grow_step _t = 2
+
+(** Append, growing the store if the free list runs dry. The clean-vs-grow
+    *policy* runs before commits; this is the backstop that keeps appends
+    total. *)
+let rec append_rec ?(live = true) t kind sealed : int * int =
+  match Log.append ~live t.log kind sealed with
+  | pos ->
+      (match kind with
+      | Data_chunk -> t.stats.bytes_data <- t.stats.bytes_data + String.length sealed
+      | Map_node -> t.stats.bytes_map <- t.stats.bytes_map + String.length sealed
+      | Commit -> t.stats.bytes_commit <- t.stats.bytes_commit + String.length sealed
+      | Next_segment -> ());
+      pos
+  | exception Log.Need_segment ->
+      t.stats.grow_backstop <- t.stats.grow_backstop + grow_step t;
+      Log.grow t.log ~segments:(grow_step t);
+      append_rec ~live t kind sealed
+
+(** Seal and append a payload, returning its location entry. *)
+let append_payload t (kind : record_kind) ~(version : int) (plain : string) : entry =
+  let sealed = Security.seal t.sec plain in
+  let hash = Security.label t.sec sealed in
+  let seg, off = append_rec t kind sealed in
+  { seg; off; len = String.length sealed; hash; version }
+
+let data_payload ~(cid : chunk_id) ~(version : int) (data : string) : string =
+  let module P = Tdb_pickle.Pickle in
+  let w = P.writer () in
+  P.uint w cid;
+  P.uint w version;
+  P.string w data;
+  P.contents w
+
+let parse_data_payload (plain : string) : chunk_id * int * string =
+  let module P = Tdb_pickle.Pickle in
+  let r = P.reader plain in
+  let cid = P.read_uint r in
+  let version = P.read_uint r in
+  let data = P.read_string r in
+  P.expect_end r;
+  (cid, version, data)
+
+(* ------------------------------------------------------------------ *)
+(* Commit records                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type commit_body = {
+  c_seq : int;
+  c_kind : commit_kind;
+  c_counter : int64;
+  c_writes : (chunk_id * entry) list;
+  c_deallocs : chunk_id list;
+}
+
+let encode_commit_body (b : commit_body) : string =
+  let module P = Tdb_pickle.Pickle in
+  let w = P.writer () in
+  P.uint w b.c_seq;
+  P.byte w (match b.c_kind with App { durable = false } -> 0 | App { durable = true } -> 1 | Clean -> 2 | Checkpoint -> 3);
+  P.int64 w b.c_counter;
+  P.list w
+    (fun w (cid, e) ->
+      P.uint w cid;
+      Location_map.write_entry w e)
+    b.c_writes;
+  P.list w (fun w cid -> P.uint w cid) b.c_deallocs;
+  P.contents w
+
+let decode_commit_body (s : string) : commit_body =
+  let module P = Tdb_pickle.Pickle in
+  let r = P.reader s in
+  let c_seq = P.read_uint r in
+  let c_kind =
+    match P.read_byte r with
+    | 0 -> App { durable = false }
+    | 1 -> App { durable = true }
+    | 2 -> Clean
+    | 3 -> Checkpoint
+    | n -> tamper "unknown commit kind %d" n
+  in
+  let c_counter = P.read_int64 r in
+  let c_writes =
+    P.read_list r (fun r ->
+        let cid = P.read_uint r in
+        let e = Location_map.read_entry r in
+        (cid, e))
+  in
+  let c_deallocs = P.read_list r (fun r -> P.read_uint r) in
+  P.expect_end r;
+  { c_seq; c_kind; c_counter; c_writes; c_deallocs }
+
+(** Write a commit record: body plus the new chain-MAC link, sealed. *)
+let append_commit_record t (body : commit_body) : unit =
+  let encoded = encode_commit_body body in
+  let link = Security.mac t.sec (t.chain ^ encoded) in
+  let module P = Tdb_pickle.Pickle in
+  let w = P.writer () in
+  P.string w encoded;
+  P.string w link;
+  let sealed = Security.seal t.sec (P.contents w) in
+  ignore (append_rec ~live:false t Commit sealed);
+  t.chain <- link
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_anchor t ~(root : entry option) : unit =
+  t.epoch <- t.epoch + 1;
+  let tail_seg, tail_off = Log.tail_pos t.log in
+  Anchor.write t.sec t.store ~slot_size:t.cfg.Config.anchor_slot_size
+    {
+      Anchor.epoch = t.epoch;
+      segment_size = t.cfg.Config.segment_size;
+      map_fanout = t.cfg.Config.map_fanout;
+      map_depth = t.cfg.Config.map_depth;
+      seq = t.seq;
+      root;
+      tail_seg;
+      tail_off;
+      counter = t.last_counter;
+      next_id = t.next_id;
+      chain = t.chain;
+      snapshots = List.map (fun (id, s) -> (id, s.snap_root, s.snap_seq)) t.snapshots;
+    }
+
+(** Checkpoint: flush dirty map nodes bottom-up, then re-anchor. Runs
+    "opportunistically" — every [checkpoint_every] commits, after cleaning
+    passes, at snapshots and at close (the paper defers this work to idle
+    periods). *)
+let do_checkpoint t : unit =
+  let root =
+    Location_map.checkpoint t.map
+      ~write_node:(fun payload -> append_payload t Map_node ~version:t.seq payload)
+      ~obsolete:(fun e -> Log.obsolete_entry t.log e)
+  in
+  Tdb_platform.Untrusted_store.sync t.store;
+  write_anchor t ~root;
+  Log.end_checkpoint t.log;
+  t.commits_since_cp <- 0;
+  t.stats.checkpoints <- t.stats.checkpoints + 1
+
+let checkpoint t : unit =
+  if Hashtbl.length t.pending > 0 then invalid_arg "Chunk_store.checkpoint: commit or abort the batch first";
+  do_checkpoint t
+
+(* ------------------------------------------------------------------ *)
+(* Cleaning                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Reclaim up to [max_segments] of the least-utilized segments by copying
+    their live records to the tail (ciphertext is position-independent, so
+    bytes are copied verbatim, hashes unchanged) and dirtying live map
+    nodes so the next checkpoint rewrites them. Ends with a checkpoint,
+    which is the barrier that actually frees the segments. *)
+let clean_pass ?(max_segments = max_int) ?candidates t : unit =
+  if t.cleaning then invalid_arg "Chunk_store.clean: reentrant call";
+  t.cleaning <- true;
+  Fun.protect
+    ~finally:(fun () -> t.cleaning <- false)
+    (fun () ->
+      let candidates = match candidates with Some c -> c | None -> Log.clean_candidates t.log in
+      let batch = List.filteri (fun i _ -> i < max_segments) candidates in
+      if batch <> [] then begin
+        let relocated = ref [] in
+        List.iter
+          (fun seg ->
+            let records = Log.scan_segment t.log seg in
+            List.iter
+              (fun (kind, poff, sealed) ->
+                match kind with
+                | Commit | Next_segment -> ()
+                | Data_chunk -> (
+                    match
+                      (try Some (parse_data_payload (Security.unseal t.sec sealed)) with _ -> None)
+                    with
+                    | None -> () (* stale garbage that no longer decrypts cleanly *)
+                    | Some (cid, _version, _data) -> (
+                        match Location_map.find t.map (fetch t) cid with
+                        | Some e when e.seg = seg && e.off = poff ->
+                            (* live: relocate ciphertext verbatim *)
+                            let nseg, noff = append_rec t Data_chunk sealed in
+                            let e' = { e with seg = nseg; off = noff } in
+                            let old, obsolete_nodes = Location_map.set t.map (fetch t) cid e' in
+                            (match old with Some o -> Log.obsolete_entry t.log o | None -> ());
+                            List.iter (Log.obsolete_entry t.log) obsolete_nodes;
+                            relocated := (cid, e') :: !relocated;
+                            t.stats.chunks_relocated <- t.stats.chunks_relocated + 1
+                        | _ -> () ))
+                | Map_node -> (
+                    match
+                      (try Some (Location_map.node_of_payload ~fanout:t.cfg.Config.map_fanout (Security.unseal t.sec sealed))
+                       with _ -> None)
+                    with
+                    | None -> ()
+                    | Some parsed -> (
+                        (* live iff the current map's node at (level, base)
+                           still points here; dirty it so the checkpoint
+                           relocates it *)
+                        match Location_map.find_node t.map (fetch t) ~level:parsed.Location_map.level ~base:parsed.Location_map.base with
+                        | Some live_node -> (
+                            match live_node.Location_map.disk with
+                            | Some e when e.seg = seg && e.off = poff ->
+                                live_node.Location_map.disk <- None;
+                                Log.obsolete_entry t.log e
+                            | _ -> () )
+                        | None -> () )))
+              records;
+            t.stats.segments_cleaned <- t.stats.segments_cleaned + 1)
+          batch;
+        (* Record relocations for recovery (split to fit segments), then
+           checkpoint (the barrier). *)
+        let group_size = max 8 (t.cfg.Config.segment_size / 4 / 64) in
+        let rec emit = function
+          | [] -> ()
+          | batch ->
+              let group = List.filteri (fun i _ -> i < group_size) batch in
+              let rest = List.filteri (fun i _ -> i >= group_size) batch in
+              t.seq <- t.seq + 1;
+              append_commit_record t
+                { c_seq = t.seq; c_kind = Clean; c_counter = t.last_counter; c_writes = group; c_deallocs = [] };
+              emit rest
+        in
+        emit (List.rev !relocated);
+        t.stats.clean_passes <- t.stats.clean_passes + 1;
+        do_checkpoint t
+      end)
+
+(** The grow-vs-clean policy (paper Section 7.3). [ensure_free t ~segs]
+    makes at least [segs] segments available before a batch of appends:
+    while the store is below the configured maximum utilization, space
+    comes from cleaning (relocating the garbage-heaviest segments); once
+    live data alone exceeds [max_utilization] of the capacity, the store
+    grows instead.
+
+    This gating is what produces the paper's Figure 11 dynamics: the store
+    floats at roughly [live / max_utilization] bytes, so the garbage
+    fraction available to the cleaner is [1 - max_utilization] — cheap,
+    half-empty segments at 50%, expensive nearly-full ones at 90%. *)
+let ensure_free t ~(segs : int) : unit =
+  if not t.cleaning then begin
+    (* Hysteresis: only act when free space is genuinely low, then refill
+       well past the trigger so cleaning bursts (and the map checkpoints
+       they entail) amortize over many commits. The high mark doubles as
+       the cleaner's copy reserve. *)
+    let trigger = segs + 2 in
+    let high = segs + (2 * t.cfg.Config.clean_batch) + 2 in
+    if Log.free_count t.log < trigger then begin
+    let segs = high in
+    let rounds = ref 0 in
+    while Log.free_count t.log < segs && !rounds < 8 do
+      incr rounds;
+      if Log.utilization t.log >= t.cfg.Config.max_utilization then begin
+        let n = max (grow_step t) (segs - Log.free_count t.log) in
+        t.stats.grow_policy <- t.stats.grow_policy + n;
+        Log.grow t.log ~segments:n
+      end
+      else begin
+        (* if everything cleanable is still in the residual window,
+           checkpoint first: that frees empty segments and unlocks the
+           fragmented ones *)
+        if Log.clean_candidates t.log = [] && t.commits_since_cp > 0 then do_checkpoint t;
+        match Log.clean_candidates t.log with
+        | [] ->
+            let n = max (grow_step t) (segs - Log.free_count t.log) in
+            t.stats.grow_fallback <- t.stats.grow_fallback + n;
+            Log.grow t.log ~segments:n
+        | _ -> clean_pass ~max_segments:t.cfg.Config.clean_batch t
+      end
+    done;
+    if Log.free_count t.log < trigger then begin
+      t.stats.grow_fallback <- t.stats.grow_fallback + (trigger - Log.free_count t.log);
+      Log.grow t.log ~segments:(trigger - Log.free_count t.log)
+    end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public chunk operations                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_allocated t cid =
+  match Hashtbl.find_opt t.pending cid with
+  | Some (Op_write _) -> true
+  | Some Op_dealloc -> false
+  | None ->
+      (cid >= 0 && cid < reserved_ids)
+      || Hashtbl.mem t.allocated cid
+      || Location_map.find t.map (fetch t) cid <> None
+
+let allocate t : chunk_id =
+  let cid = t.next_id in
+  t.next_id <- t.next_id + 1;
+  Hashtbl.replace t.allocated cid ();
+  cid
+
+(** Restore-mode write: claim a specific chunk id and buffer data for it —
+    used by the backup store to rebuild a database with its original ids
+    (full backup lays chunks down, incrementals overwrite them). *)
+let restore_chunk t (cid : chunk_id) (data : string) : unit =
+  if cid < 0 then invalid_arg "Chunk_store.restore_chunk: negative id";
+  t.next_id <- max t.next_id (cid + 1);
+  Hashtbl.replace t.pending cid (Op_write data)
+
+let write t (cid : chunk_id) (data : string) : unit =
+  if not (is_allocated t cid) then raise (Not_allocated cid);
+  let max = Config.max_chunk_size t.cfg - Security.seal_overhead t.sec (String.length data) - 32 in
+  if String.length data > max then raise (Chunk_too_large { cid; size = String.length data; max });
+  Hashtbl.replace t.pending cid (Op_write data)
+
+let read t (cid : chunk_id) : string =
+  match Hashtbl.find_opt t.pending cid with
+  | Some (Op_write data) -> data
+  | Some Op_dealloc -> raise (Not_written cid)
+  | None -> (
+      match Location_map.find t.map (fetch t) cid with
+      | None -> raise (Not_written cid)
+      | Some e ->
+          let plain = fetch t ~what:(Printf.sprintf "chunk %d" cid) e in
+          let cid', version, data = try parse_data_payload plain with _ -> tamper "malformed chunk %d" cid in
+          if cid' <> cid || version <> e.version then tamper "chunk %d identity mismatch" cid;
+          data )
+
+let deallocate t (cid : chunk_id) : unit =
+  if not (is_allocated t cid) then raise (Not_allocated cid);
+  if Hashtbl.mem t.allocated cid && Location_map.find t.map (fetch t) cid = None then begin
+    (* never written: nothing persistent to do *)
+    Hashtbl.remove t.allocated cid;
+    Hashtbl.remove t.pending cid
+  end
+  else Hashtbl.replace t.pending cid Op_dealloc
+
+(** Discard the current (uncommitted) batch. *)
+let abort_batch t : unit = Hashtbl.reset t.pending
+
+(* Commit records must fit in one segment. Very large batches (bulk loads)
+   are split into chained sub-commits: every sub-commit but the last is
+   nondurable, so recovery applies the whole chain iff the final record —
+   the only durable barrier — landed; atomicity of the batch is
+   preserved. *)
+let max_commit_record_bytes t = t.cfg.Config.segment_size / 4
+
+let commit ?(durable = true) t : unit =
+  if Hashtbl.length t.pending = 0 then ()
+  else begin
+    (* reserve space for the batch, its commit records and checkpoint
+       map writes that may piggyback on it *)
+    let batch_bytes =
+      Hashtbl.fold
+        (fun _ op acc -> match op with Op_write d -> acc + String.length d + 128 | Op_dealloc -> acc + 16)
+        t.pending 0
+    in
+    ensure_free t ~segs:(2 + (batch_bytes * 3 / 2 / t.cfg.Config.segment_size));
+    t.seq <- t.seq + 1;
+    (* Replay-protection protocol: the commit record carries the counter
+       value this commit *will* advance the one-way counter to; the
+       increment itself happens only after the record is durable. Recovery
+       then accepts exactly hw = c_last (normal) or hw = c_last - 1 (crash
+       between sync and increment — repaired by incrementing), so replaying
+       any saved image on which a later durable commit happened makes
+       hw > c_last and is detected. *)
+    if durable && t.sec.Security.enabled then t.last_counter <- Int64.add t.last_counter 1L;
+    let budget = max_commit_record_bytes t in
+    let writes = ref [] and deallocs = ref [] and body_bytes = ref 0 in
+    let flush_group ~last =
+      append_commit_record t
+        {
+          c_seq = t.seq;
+          c_kind = App { durable = durable && last };
+          c_counter = t.last_counter;
+          c_writes = List.rev !writes;
+          c_deallocs = List.rev !deallocs;
+        };
+      writes := [];
+      deallocs := [];
+      body_bytes := 0;
+      if not last then t.seq <- t.seq + 1
+    in
+    let note_cost n =
+      body_bytes := !body_bytes + n;
+      if !body_bytes >= budget then flush_group ~last:false
+    in
+    Hashtbl.iter
+      (fun cid op ->
+        match op with
+        | Op_write data ->
+            let e = append_payload t Data_chunk ~version:t.seq (data_payload ~cid ~version:t.seq data) in
+            let old, obsolete_nodes = Location_map.set t.map (fetch t) cid e in
+            (match old with Some o -> Log.obsolete_entry t.log o | None -> ());
+            List.iter (Log.obsolete_entry t.log) obsolete_nodes;
+            Hashtbl.remove t.allocated cid;
+            writes := (cid, e) :: !writes;
+            note_cost (48 + String.length e.hash)
+        | Op_dealloc ->
+            let old, obsolete_nodes = Location_map.remove t.map (fetch t) cid in
+            (match old with Some o -> Log.obsolete_entry t.log o | None -> ());
+            List.iter (Log.obsolete_entry t.log) obsolete_nodes;
+            deallocs := cid :: !deallocs;
+            note_cost 10)
+      t.pending;
+    Hashtbl.reset t.pending;
+    flush_group ~last:true;
+    t.stats.commits <- t.stats.commits + 1;
+    if durable then begin
+      Tdb_platform.Untrusted_store.sync t.store;
+      if t.sec.Security.enabled then begin
+        let hw = Tdb_platform.One_way_counter.increment t.counter in
+        if hw <> t.last_counter then
+          tamper "one-way counter advanced externally (%Ld, expected %Ld)" hw t.last_counter
+      end;
+      Log.barrier t.log;
+      t.stats.durable_commits <- t.stats.durable_commits + 1
+    end;
+    t.commits_since_cp <- t.commits_since_cp + 1;
+    if
+      t.commits_since_cp >= t.cfg.Config.checkpoint_every
+      || Log.residual_bytes t.log >= t.cfg.Config.checkpoint_residual_bytes
+    then begin
+      (* reserve space for the map nodes the checkpoint will write, so
+         checkpoints never have to grow the store outside the policy *)
+      let est_bytes =
+        Location_map.count_dirty t.map * t.cfg.Config.map_fanout * (16 + t.sec.Security.hash_len)
+      in
+      ensure_free t ~segs:(min 16 (2 + (est_bytes / t.cfg.Config.segment_size)));
+      checkpoint t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Segments referenced by a tree rooted at [root]. *)
+let tree_segments t (root : entry option) : int list =
+  match root with
+  | None -> []
+  | Some root ->
+      let segs = Hashtbl.create 64 in
+      Location_map.walk_tree ~fanout:t.cfg.Config.map_fanout (fetch t) ~root
+        ~data:(fun _ e -> Hashtbl.replace segs e.seg ())
+        ~node:(fun e -> Hashtbl.replace segs e.seg ());
+      Hashtbl.fold (fun s () acc -> s :: acc) segs []
+
+(** Take a copy-on-write snapshot of the committed state: checkpoint, then
+    pin the segments the checkpointed tree lives in. O(map) time, no data
+    copying — the paper's "inexpensively snapshot using copy-on-write". *)
+let snapshot t : int =
+  checkpoint t;
+  let root = Location_map.root_entry t.map in
+  let id = t.next_snap_id in
+  t.next_snap_id <- t.next_snap_id + 1;
+  let segs = tree_segments t root in
+  List.iter (fun s -> Log.pin t.log s) segs;
+  t.snapshots <- (id, { snap_root = root; snap_seq = t.seq; snap_segs = segs }) :: t.snapshots;
+  write_anchor t ~root;
+  id
+
+let find_snapshot t id =
+  match List.assoc_opt id t.snapshots with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Chunk_store: unknown snapshot %d" id)
+
+let release_snapshot t (id : int) : unit =
+  let s = find_snapshot t id in
+  t.snapshots <- List.remove_assoc id t.snapshots;
+  List.iter (fun seg -> Log.unpin t.log seg) s.snap_segs;
+  (* Re-anchor without the snapshot and let the barrier reclaim its
+     segments. *)
+  checkpoint t
+
+let snapshot_seq t id = (find_snapshot t id).snap_seq
+
+let read_in_snapshot t (e : entry) : chunk_id * string =
+  let plain = fetch t ~what:"snapshot chunk" e in
+  let cid, version, data = try parse_data_payload plain with _ -> tamper "malformed snapshot chunk" in
+  if version <> e.version then tamper "snapshot chunk version mismatch";
+  (cid, data)
+
+(** Fold over every chunk in a snapshot (full-backup substrate). *)
+let fold_snapshot t (id : int) ~(init : 'a) ~(f : 'a -> chunk_id -> string -> 'a) : 'a =
+  let s = find_snapshot t id in
+  match s.snap_root with
+  | None -> init
+  | Some root ->
+      let acc = ref init in
+      Location_map.walk_tree ~fanout:t.cfg.Config.map_fanout (fetch t) ~root
+        ~data:(fun cid e ->
+          let cid', data = read_in_snapshot t e in
+          if cid' <> cid then tamper "snapshot chunk id mismatch";
+          acc := f !acc cid data)
+        ~node:(fun _ -> ());
+      !acc
+
+(** Stream the differences between two snapshots (incremental-backup
+    substrate): [changed] for added/updated chunks, [removed] for
+    deallocated ones. Identical subtrees are pruned by Merkle hash. *)
+let diff_snapshots t ~(old_id : int) ~(new_id : int) ~(changed : chunk_id -> string -> unit)
+    ~(removed : chunk_id -> unit) : unit =
+  let old_s = find_snapshot t old_id and new_s = find_snapshot t new_id in
+  Location_map.diff_trees ~fanout:t.cfg.Config.map_fanout (fetch t) ~old_root:old_s.snap_root
+    ~new_root:new_s.snap_root
+    ~changed:(fun cid e ->
+      let cid', data = read_in_snapshot t e in
+      if cid' <> cid then tamper "snapshot chunk id mismatch";
+      changed cid data)
+    ~removed
+
+(* ------------------------------------------------------------------ *)
+(* Creation, recovery, close                                           *)
+(* ------------------------------------------------------------------ *)
+
+let make_empty (cfg : Config.t) (sec : Security.t) counter store : t =
+  {
+    cfg;
+    sec;
+    counter;
+    store;
+    log = Log.create store cfg;
+    map = Location_map.create ~fanout:cfg.Config.map_fanout ~depth:cfg.Config.map_depth;
+    pending = Hashtbl.create 16;
+    allocated = Hashtbl.create 16;
+    next_id = reserved_ids;
+    seq = 0;
+    chain = "";
+    last_counter = 0L;
+    epoch = 0;
+    commits_since_cp = 0;
+    snapshots = [];
+    next_snap_id = 1;
+    cleaning = false;
+    stats = fresh_stats ();
+  }
+
+(** Create a fresh database, overwriting whatever the store held. *)
+let create ?(config = Config.default) ~(secret : Tdb_platform.Secret_store.t)
+    ~(counter : Tdb_platform.One_way_counter.t) (store : Tdb_platform.Untrusted_store.t) : t =
+  Config.validate config;
+  let sec = Security.create config secret in
+  let t = make_empty config sec counter store in
+  t.last_counter <- Tdb_platform.One_way_counter.read counter;
+  t.chain <- Security.mac sec "tdb-chain-genesis";
+  (* Invalidate both anchor slots, then write the initial one. *)
+  Tdb_platform.Untrusted_store.write store ~off:0 (String.make (2 * config.Config.anchor_slot_size) '\000');
+  write_anchor t ~root:None;
+  t
+
+exception Recovery_failed of string
+
+(** Open an existing database, running crash recovery and tamper checks.
+    @raise Recovery_failed if no valid anchor is found (wiped or never
+    created store);
+    @raise Types.Tamper_detected on MAC/hash/counter violations. *)
+let open_existing ?(config = Config.default) ~(secret : Tdb_platform.Secret_store.t)
+    ~(counter : Tdb_platform.One_way_counter.t) (store : Tdb_platform.Untrusted_store.t) : t =
+  Config.validate config;
+  let sec = Security.create config secret in
+  let anchor =
+    match Anchor.read sec store ~slot_size:config.Config.anchor_slot_size with
+    | Some a -> a
+    | None -> raise (Recovery_failed "no valid anchor (store is empty, wiped, or tampered)")
+  in
+  (* the layout parameters the database was written with must match the
+     configuration it is opened with *)
+  if
+    anchor.Anchor.segment_size <> config.Config.segment_size
+    || anchor.Anchor.map_fanout <> config.Config.map_fanout
+    || anchor.Anchor.map_depth <> config.Config.map_depth
+  then
+    raise
+      (Recovery_failed
+         (Printf.sprintf
+            "layout mismatch: database uses segment_size=%d fanout=%d depth=%d, configuration says %d/%d/%d"
+            anchor.Anchor.segment_size anchor.Anchor.map_fanout anchor.Anchor.map_depth
+            config.Config.segment_size config.Config.map_fanout config.Config.map_depth));
+  let t = make_empty config sec counter store in
+  t.epoch <- anchor.Anchor.epoch;
+  t.seq <- anchor.Anchor.seq;
+  t.chain <- anchor.Anchor.chain;
+  t.last_counter <- anchor.Anchor.counter;
+  t.next_id <- anchor.Anchor.next_id;
+  t.next_snap_id <- List.fold_left (fun acc (id, _, _) -> max acc (id + 1)) 1 anchor.Anchor.snapshots;
+  (* Rebind the log to recovery mode: tail from the anchor, usage rebuilt
+     below. *)
+  let usage = Hashtbl.create 64 in
+  let log =
+    Log.of_recovery store config ~tail_seg:anchor.Anchor.tail_seg ~tail_off:anchor.Anchor.tail_off ~usage
+  in
+  let t = { t with log } in
+  (* Load the map root. *)
+  (match anchor.Anchor.root with
+  | None -> ()
+  | Some root_e ->
+      let payload = fetch t ~what:"map root" root_e in
+      let root = Location_map.node_of_payload ~fanout:config.Config.map_fanout payload in
+      root.Location_map.disk <- Some root_e;
+      t.map.Location_map.root <- root);
+  (* Scan the residual log: verify the commit chain, collect commits. *)
+  let commits = ref [] in
+  let chain = ref t.chain in
+  let expected_seq = ref (t.seq + 1) in
+  let module P = Tdb_pickle.Pickle in
+  (try
+     Log.scan_chain t.log ~seg:anchor.Anchor.tail_seg ~off:(anchor.Anchor.tail_off)
+       ~f:(fun kind (seg, poff) payload ->
+         match kind with
+         | Data_chunk | Map_node -> () (* applied via commit records *)
+         | Next_segment -> ()
+         | Commit -> (
+             match
+               (let plain = Security.unseal t.sec payload in
+                let r = P.reader plain in
+                let encoded = P.read_string r in
+                let link = P.read_string r in
+                P.expect_end r;
+                if not (Tdb_crypto.Ct.equal_string link (Security.mac t.sec (!chain ^ encoded))) then None
+                else
+                  let body = decode_commit_body encoded in
+                  if body.c_seq <> !expected_seq then None else Some (body, link))
+             with
+             | exception _ -> raise Exit
+             | None -> raise Exit
+             | Some (body, link) ->
+                 chain := link;
+                 incr expected_seq;
+                 let end_pos = (seg, poff + String.length payload) in
+                 commits := (body, link, end_pos) :: !commits ))
+   with Exit -> ());
+  let commits = List.rev !commits in
+  (* Validate the data each commit references; a failure in the *last*
+     commit is a crash (sync did not complete), anywhere else is
+     tampering. *)
+  let n = List.length commits in
+  let validated = ref [] in
+  List.iteri
+    (fun i (body, link, end_pos) ->
+      let ok =
+        List.for_all
+          (fun (_cid, (e : entry)) ->
+            match Log.read_payload t.log e with
+            | stored -> t.sec.Security.enabled = false || Tdb_crypto.Ct.equal_string e.hash (Security.label t.sec stored)
+            | exception _ -> false)
+          body.c_writes
+      in
+      if ok then validated := (body, link, end_pos) :: !validated
+      else if i = n - 1 then () (* torn final commit: discard *)
+      else tamper "residual log: commit %d references corrupt data" body.c_seq)
+    commits;
+  let validated = List.rev !validated in
+  (* Keep the prefix up to the last durable commit. *)
+  let last_durable =
+    List.fold_left
+      (fun (idx, best) (body, _, _) ->
+        match body.c_kind with App { durable = true } -> (idx + 1, idx) | _ -> (idx + 1, best))
+      (0, -1) validated
+    |> snd
+  in
+  let applied = List.filteri (fun i _ -> i <= last_durable) validated in
+  List.iter
+    (fun (body, link, end_pos) ->
+      List.iter
+        (fun (cid, e) ->
+          let old, obsolete_nodes = Location_map.set t.map (fetch t) cid e in
+          ignore old;
+          ignore obsolete_nodes;
+          t.next_id <- max t.next_id (cid + 1))
+        body.c_writes;
+      List.iter (fun cid -> ignore (Location_map.remove t.map (fetch t) cid)) body.c_deallocs;
+      t.seq <- body.c_seq;
+      t.chain <- link;
+      t.last_counter <- (match body.c_kind with App { durable = true } -> body.c_counter | _ -> t.last_counter);
+      let seg, off = end_pos in
+      t.log.Log.tail_seg <- seg;
+      t.log.Log.tail_off <- off)
+    applied;
+  (* Replay-attack check against the one-way counter. hw = c_last is
+     normal; hw = c_last - 1 means the last durable commit synced but the
+     counter increment was lost to a crash — repair by incrementing;
+     anything else is tampering (in particular, hw > c_last means durable
+     commits happened on a state that was later replayed). *)
+  if t.sec.Security.enabled then begin
+    let hw = Tdb_platform.One_way_counter.read counter in
+    if Int64.add hw 1L = t.last_counter then
+      ignore (Tdb_platform.One_way_counter.increment counter)
+    else if hw <> t.last_counter then
+      tamper "one-way counter mismatch (counter=%Ld, database=%Ld): %s" hw t.last_counter
+        (if hw > t.last_counter then "replay of stale state detected" else "counter rollback detected")
+  end;
+  (* Rebuild usage from the recovered map (data entries + clean nodes);
+     dirty nodes from replay have no on-disk copy yet. *)
+  Location_map.iter t.map (fetch t)
+    ~data:(fun _cid e -> Hashtbl.replace usage e.seg (Option.value ~default:0 (Hashtbl.find_opt usage e.seg) + Log.record_space e.len))
+    ~node:(fun e -> Hashtbl.replace usage e.seg (Option.value ~default:0 (Hashtbl.find_opt usage e.seg) + Log.record_space e.len));
+  (* Re-pin snapshot segments. *)
+  t.snapshots <-
+    List.map
+      (fun (id, root, sseq) ->
+        let segs = tree_segments t root in
+        List.iter (fun s -> Log.pin t.log s) segs;
+        (id, { snap_root = root; snap_seq = sseq; snap_segs = segs }))
+      anchor.Anchor.snapshots;
+  Log.barrier t.log;
+  (* Settle into a clean checkpointed state. *)
+  checkpoint t;
+  t
+
+(** Checkpoint and sync; the database can be reopened with
+    {!open_existing}. *)
+let close t : unit =
+  if Hashtbl.length t.pending > 0 then abort_batch t;
+  checkpoint t;
+  Tdb_platform.Untrusted_store.close t.store
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let stats t = t.stats
+let utilization t = Log.utilization t.log
+let live_bytes t = Log.live_bytes t.log
+let capacity t = Log.capacity t.log
+let store_size t = Tdb_platform.Untrusted_store.size t.store
+let security_enabled t = t.sec.Security.enabled
+let config t = t.cfg
+
+(** Explicit idle-time cleaning (paper: "some of the database
+    reorganization can be deferred until idle time"). Checkpoints first so
+    the whole log (minus the fresh tail) is eligible. *)
+let clean ?max_segments t =
+  checkpoint t;
+  clean_pass ?max_segments t

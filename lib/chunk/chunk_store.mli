@@ -1,0 +1,150 @@
+(** The chunk store (paper Section 3): trusted storage for named,
+    variable-sized byte sequences — {e chunks} — on top of a store the
+    attacker fully controls.
+
+    {1 Guarantees}
+
+    - {b Secrecy}: every stored payload is encrypted (when
+      {!Config.t.security} is on) under keys derived from the platform
+      secret store.
+    - {b Tamper detection}: payloads are validated against the Merkle tree
+      embedded in the location map, whose root lives in the MAC'd anchor.
+      Violations raise {!Types.Tamper_detected}.
+    - {b Replay detection}: durable commits advance the platform one-way
+      counter; {!open_existing} cross-checks it and rejects replayed
+      images.
+    - {b Atomicity}: a batch of {!write}/{!deallocate} operations commits
+      atomically with respect to crashes — durably, or nondurably (the
+      nondurable batch survives only once a later durable barrier lands).
+    - {b Log-structured storage} with cleaning bounded by the
+      [max_utilization] knob (grow-vs-clean policy, paper Section 7.3),
+      and cheap copy-on-write {!snapshot}s, foldable and diffable — the
+      substrate for full/incremental backups.
+
+    Concurrency: the chunk store itself is single-threaded; the object
+    store serializes access with its state mutex (paper Section 4.2.3). *)
+
+type t
+(** An open chunk store. *)
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?config:Config.t ->
+  secret:Tdb_platform.Secret_store.t ->
+  counter:Tdb_platform.One_way_counter.t ->
+  Tdb_platform.Untrusted_store.t ->
+  t
+(** Create a fresh database, overwriting whatever the store held. *)
+
+exception Recovery_failed of string
+(** No valid anchor: the store is empty, wiped, or its anchors destroyed. *)
+
+val open_existing :
+  ?config:Config.t ->
+  secret:Tdb_platform.Secret_store.t ->
+  counter:Tdb_platform.One_way_counter.t ->
+  Tdb_platform.Untrusted_store.t ->
+  t
+(** Open an existing database: verifies the anchor, replays the residual
+    log (verifying the commit-chain MAC and every referenced payload),
+    discards trailing nondurable commits, and checks the one-way counter.
+    @raise Recovery_failed when no valid anchor exists.
+    @raise Types.Tamper_detected on MAC/hash/counter violations (including
+    replayed images). *)
+
+val close : t -> unit
+(** Checkpoint, sync and close the underlying store. *)
+
+(** {1 Chunk operations} (paper Figure 2)
+
+    Writes and deallocations are buffered into the current batch and
+    applied atomically by {!commit}. *)
+
+val allocate : t -> Types.chunk_id
+(** Returns a previously unallocated chunk id. *)
+
+val write : t -> Types.chunk_id -> string -> unit
+(** Buffer a new state for the chunk (any size, including empty).
+    @raise Types.Not_allocated if the id was never allocated.
+    @raise Types.Chunk_too_large if the state cannot fit in a segment. *)
+
+val read : t -> Types.chunk_id -> string
+(** Last written state (buffered batch included), validated against the
+    Merkle path and decrypted.
+    @raise Types.Not_written if the chunk has no state.
+    @raise Types.Tamper_detected if validation fails. *)
+
+val deallocate : t -> Types.chunk_id -> unit
+(** Buffer removal of the chunk and release of its id.
+    @raise Types.Not_allocated if the id is not allocated. *)
+
+val restore_chunk : t -> Types.chunk_id -> string -> unit
+(** Restore-mode write: claim a {e specific} id and buffer data for it —
+    used by the backup store to rebuild a database with its original ids. *)
+
+val commit : ?durable:bool -> t -> unit
+(** Apply the buffered batch atomically. [durable] (default [true]) forces
+    the log and advances the one-way counter; a nondurable commit is
+    guaranteed to be atomic with the next durable barrier. *)
+
+val abort_batch : t -> unit
+(** Discard the buffered batch. *)
+
+(** {1 Maintenance} *)
+
+val checkpoint : t -> unit
+(** Write dirty location-map nodes and re-anchor; bounds recovery to the
+    (now empty) residual log. Runs automatically on the residual-bytes /
+    commit-count triggers in {!Config.t}. *)
+
+val clean : ?max_segments:int -> t -> unit
+(** Explicit idle-time log cleaning (paper: reorganization is deferred to
+    idle periods). Checkpoints first so the whole log is eligible. *)
+
+(** {1 Snapshots} (copy-on-write; the substrate for backups) *)
+
+val snapshot : t -> int
+(** Checkpoint and pin the current committed state; O(map), no copying. *)
+
+val release_snapshot : t -> int -> unit
+val snapshot_seq : t -> int -> int
+
+val fold_snapshot : t -> int -> init:'a -> f:('a -> Types.chunk_id -> string -> 'a) -> 'a
+(** Iterate every chunk of a snapshot (validated + decrypted). *)
+
+val diff_snapshots :
+  t ->
+  old_id:int ->
+  new_id:int ->
+  changed:(Types.chunk_id -> string -> unit) ->
+  removed:(Types.chunk_id -> unit) ->
+  unit
+(** Stream the difference between two snapshots, pruning identical
+    subtrees by Merkle hash — the incremental-backup primitive. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  mutable commits : int;
+  mutable durable_commits : int;
+  mutable checkpoints : int;
+  mutable clean_passes : int;
+  mutable segments_cleaned : int;
+  mutable chunks_relocated : int;
+  mutable tampers : int;
+  mutable bytes_data : int;  (** chunk-record payload bytes appended *)
+  mutable bytes_map : int;  (** map-node payload bytes appended *)
+  mutable bytes_commit : int;  (** commit-record payload bytes appended *)
+  mutable grow_policy : int;  (** segments added because utilization ≥ max *)
+  mutable grow_fallback : int;  (** segments added when nothing was cleanable *)
+  mutable grow_backstop : int;  (** segments added by the append backstop *)
+}
+
+val stats : t -> stats
+val utilization : t -> float
+val live_bytes : t -> int
+val capacity : t -> int
+val store_size : t -> int
+val security_enabled : t -> bool
+val config : t -> Config.t

@@ -1,0 +1,49 @@
+(** Chunk store configuration.
+
+    TDB is modular (paper Section 2): security can be switched off entirely
+    (the paper's plain "TDB" vs "TDB-S" configurations), the cipher and
+    hash are pluggable, and every size/cadence is tunable for the
+    embedding device. *)
+
+type cipher_choice =
+  | Aes128  (** one-pass AES (verified against FIPS-197) *)
+  | Triple_aes  (** three-pass EDE AES: a 3DES-cost configuration *)
+  | Triple_xtea
+      (** three-pass XTEA: DES-sized 8-byte blocks, smallest footprint —
+          the closest shape to the paper's 3DES (see DESIGN.md) *)
+
+type hash_choice = Sha1 | Sha256
+
+type t = {
+  security : bool;
+      (** When false, chunks are stored in plaintext, no hashing/MACs are
+          performed and the one-way counter is never touched — the paper's
+          plain "TDB" configuration. *)
+  cipher : cipher_choice;
+  hash : hash_choice;
+  segment_size : int;  (** log segment size in bytes *)
+  anchor_slot_size : int;  (** each of the two anchor slots *)
+  initial_segments : int;
+  max_utilization : float;
+      (** maximal fraction of the store occupied by live chunks; the
+          grow-vs-clean decision point (paper Section 7.3, default 0.6) *)
+  checkpoint_every : int;
+      (** checkpoint the location map after this many commits... *)
+  checkpoint_residual_bytes : int;
+      (** ...or once this many bytes of residual log accumulate, whichever
+          comes first: bounds both recovery time and the log region the
+          cleaner cannot touch *)
+  map_fanout : int;
+  map_depth : int;  (** the map covers [map_fanout ^ map_depth] chunk ids *)
+  clean_batch : int;  (** max segments reclaimed per cleaning pass *)
+}
+
+val default : t
+(** Security on, Triple-AES + SHA-1 (the paper's TDB-S algorithm class),
+    64 KiB segments, 60% maximum utilization. *)
+
+val max_chunk_size : t -> int
+(** Largest storable chunk payload (one record must fit in a segment). *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on inconsistent settings. *)

@@ -1,0 +1,368 @@
+(** The hierarchical location map with the Merkle hash tree embedded in it
+    (paper Section 3.2.1).
+
+    The map is a radix tree over chunk ids with a fixed fanout and depth.
+    Leaf slots hold the location entries of data chunks; interior slots hold
+    the location entries of child map nodes. Every entry carries the one-way
+    hash of the bytes it points at, so the tree doubles as a Merkle tree:
+    validating a chunk read validates exactly one root-to-leaf path, and the
+    root entry (kept in the MAC-protected anchor) authenticates the whole
+    database.
+
+    Nodes are loaded lazily through a [fetch] callback supplied by the chunk
+    store (which reads the untrusted store, checks the recorded hash and
+    decrypts). Dirty nodes live only in memory until the next checkpoint
+    writes them out bottom-up — the paper's "modified portions of the
+    location map ... written opportunistically at checkpoints". *)
+
+open Types
+
+type kid =
+  | Entry of entry (* level 0: a data chunk's location *)
+  | Node of node (* level > 0: loaded child node *)
+  | Unloaded of entry (* level > 0: child node still on disk *)
+
+and node = {
+  level : int; (* 0 = leaf *)
+  base : int; (* first chunk id covered by this node *)
+  kids : kid option array;
+  mutable disk : entry option; (* location of the on-disk copy, iff clean *)
+}
+
+type t = { fanout : int; depth : int; mutable root : node }
+
+type fetch = what:string -> entry -> string
+(** [fetch ~what e] returns the validated, decrypted payload stored at [e].
+    @raise Tamper_detected on validation failure. *)
+
+let fresh_node ~fanout ~level ~base = { level; base; kids = Array.make fanout None; disk = None }
+
+let create ~fanout ~depth =
+  { fanout; depth; root = fresh_node ~fanout ~level:(depth - 1) ~base:0 }
+
+let capacity t =
+  let rec pow b = function 0 -> 1 | n -> b * pow b (n - 1) in
+  pow t.fanout t.depth
+
+let span t level =
+  let rec pow b = function 0 -> 1 | n -> b * pow b (n - 1) in
+  pow t.fanout (level + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Node (de)serialization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_entry w (e : entry) =
+  Tdb_pickle.Pickle.uint w e.seg;
+  Tdb_pickle.Pickle.uint w e.off;
+  Tdb_pickle.Pickle.uint w e.len;
+  Tdb_pickle.Pickle.string w e.hash;
+  Tdb_pickle.Pickle.uint w e.version
+
+let read_entry r =
+  let seg = Tdb_pickle.Pickle.read_uint r in
+  let off = Tdb_pickle.Pickle.read_uint r in
+  let len = Tdb_pickle.Pickle.read_uint r in
+  let hash = Tdb_pickle.Pickle.read_string r in
+  let version = Tdb_pickle.Pickle.read_uint r in
+  { seg; off; len; hash; version }
+
+(** Serialize a node for storage. Only slots holding entries are written
+    ([Node]/[Unloaded] kids are represented by their entries; the caller
+    must checkpoint children first so every loaded child is clean). *)
+let node_payload (n : node) : string =
+  let w = Tdb_pickle.Pickle.writer () in
+  Tdb_pickle.Pickle.uint w n.level;
+  Tdb_pickle.Pickle.uint w n.base;
+  let slots = ref [] in
+  Array.iteri
+    (fun i kid ->
+      match kid with
+      | None -> ()
+      | Some (Entry e) -> slots := (i, e) :: !slots
+      | Some (Unloaded e) -> slots := (i, e) :: !slots
+      | Some (Node child) -> (
+          match child.disk with
+          | Some e -> slots := (i, e) :: !slots
+          | None -> invalid_arg "Location_map.node_payload: dirty child"))
+    n.kids;
+  Tdb_pickle.Pickle.list w
+    (fun w (i, e) ->
+      Tdb_pickle.Pickle.uint w i;
+      write_entry w e)
+    (List.rev !slots);
+  Tdb_pickle.Pickle.contents w
+
+let node_of_payload ~fanout (payload : string) : node =
+  let r = Tdb_pickle.Pickle.reader payload in
+  let level = Tdb_pickle.Pickle.read_uint r in
+  let base = Tdb_pickle.Pickle.read_uint r in
+  let n = fresh_node ~fanout ~level ~base in
+  let slots =
+    Tdb_pickle.Pickle.read_list r (fun r ->
+        let i = Tdb_pickle.Pickle.read_uint r in
+        let e = read_entry r in
+        (i, e))
+  in
+  Tdb_pickle.Pickle.expect_end r;
+  List.iter
+    (fun (i, e) ->
+      if i >= fanout then tamper "map node slot out of range";
+      n.kids.(i) <- Some (if level = 0 then Entry e else Unloaded e))
+    slots;
+  n
+
+(* ------------------------------------------------------------------ *)
+(* Path navigation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let slot_of t (cid : chunk_id) (level : int) =
+  let rec pow b = function 0 -> 1 | n -> b * pow b (n - 1) in
+  cid / pow t.fanout level mod t.fanout
+
+let check_cid t cid =
+  if cid < 0 || cid >= capacity t then invalid_arg (Printf.sprintf "chunk id %d out of map range" cid)
+
+let load_child t (fetch : fetch) (parent : node) (i : int) : node option =
+  match parent.kids.(i) with
+  | None -> None
+  | Some (Node n) -> Some n
+  | Some (Unloaded e) ->
+      let payload = fetch ~what:(Printf.sprintf "map node (level %d)" (parent.level - 1)) e in
+      let n = node_of_payload ~fanout:t.fanout payload in
+      if n.level <> parent.level - 1 then tamper "map node level mismatch";
+      n.disk <- Some e;
+      parent.kids.(i) <- Some (Node n);
+      Some n
+  | Some (Entry _) -> tamper "data entry at interior map level"
+
+(** Descend to the leaf covering [cid]. [create_path] materializes missing
+    interior nodes (for writes). *)
+let rec descend t fetch (n : node) ~create_path (cid : chunk_id) : node option =
+  if n.level = 0 then Some n
+  else begin
+    let i = slot_of t cid n.level in
+    match load_child t fetch n i with
+    | Some child -> descend t fetch child ~create_path cid
+    | None ->
+        if not create_path then None
+        else begin
+          let child_span = span t (n.level - 1) in
+          let child = fresh_node ~fanout:t.fanout ~level:(n.level - 1) ~base:(n.base + (i * child_span)) in
+          n.kids.(i) <- Some (Node child);
+          descend t fetch child ~create_path cid
+        end
+  end
+
+(** Locate the in-memory node covering [(level, base)], loading the path if
+    necessary; used by the cleaner to test map-node liveness. *)
+let find_node t (fetch : fetch) ~(level : int) ~(base : int) : node option =
+  let rec go (n : node) =
+    if n.level = level then if n.base = base then Some n else None
+    else if n.level < level then None
+    else
+      match load_child t fetch n (slot_of t base n.level) with
+      | Some child -> go child
+      | None -> None
+  in
+  if level >= t.depth then None else go t.root
+
+(** The root's on-disk entry; [None] if the tree is dirty or empty. *)
+let root_entry t : entry option = t.root.disk
+
+let find t (fetch : fetch) (cid : chunk_id) : entry option =
+  check_cid t cid;
+  match descend t fetch t.root ~create_path:false cid with
+  | None -> None
+  | Some leaf -> (
+      match leaf.kids.(slot_of t cid 0) with
+      | Some (Entry e) -> Some e
+      | None -> None
+      | Some _ -> tamper "node entry at leaf map level" )
+
+(** Mark every node on the path to [cid] dirty, returning their obsoleted
+    on-disk entries (for usage accounting). *)
+let dirty_path t fetch (cid : chunk_id) : entry list =
+  let obsoleted = ref [] in
+  let rec go n =
+    (match n.disk with
+    | Some e ->
+        obsoleted := e :: !obsoleted;
+        n.disk <- None
+    | None -> ());
+    if n.level > 0 then
+      match load_child t fetch n (slot_of t cid n.level) with Some child -> go child | None -> ()
+  in
+  go t.root;
+  !obsoleted
+
+(** [set t fetch cid e] installs [e] and returns [(old_data_entry,
+    obsoleted_node_entries)]. *)
+let set t (fetch : fetch) (cid : chunk_id) (e : entry) : entry option * entry list =
+  check_cid t cid;
+  let obsoleted_nodes = dirty_path t fetch cid in
+  match descend t fetch t.root ~create_path:true cid with
+  | None -> assert false
+  | Some leaf ->
+      let i = slot_of t cid 0 in
+      let old = match leaf.kids.(i) with Some (Entry o) -> Some o | None -> None | Some _ -> tamper "bad leaf" in
+      leaf.kids.(i) <- Some (Entry e);
+      (old, obsoleted_nodes)
+
+let remove t (fetch : fetch) (cid : chunk_id) : entry option * entry list =
+  check_cid t cid;
+  match descend t fetch t.root ~create_path:false cid with
+  | None -> (None, [])
+  | Some leaf -> (
+      let i = slot_of t cid 0 in
+      match leaf.kids.(i) with
+      | Some (Entry o) ->
+          let obsoleted_nodes = dirty_path t fetch cid in
+          leaf.kids.(i) <- None;
+          (Some o, obsoleted_nodes)
+      | None -> (None, [])
+      | Some _ -> tamper "bad leaf" )
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Write out every dirty node bottom-up. [write_node] appends a map-node
+    record to the log and returns its new location entry. Superseded on-disk
+    node copies are reported to [obsolete]: most were already cleared when
+    {!set}/{!remove} dirtied the path, but a clean ancestor of a node the
+    cleaner dirtied directly is obsoleted here, when it is rewritten.
+    Returns the root's entry (None if the tree is completely empty). *)
+let checkpoint t ~(write_node : string -> entry) ~(obsolete : entry -> unit) : entry option =
+  let rec flush (n : node) : entry option =
+    (* Flush loaded children first so our serialized slots are fresh. *)
+    let child_changed = ref false in
+    if n.level > 0 then
+      Array.iteri
+        (fun i kid ->
+          match kid with
+          | Some (Node child) when child.disk = None || has_dirty child ->
+              let before = child.disk in
+              (match flush child with
+              | Some _ -> ()
+              | None ->
+                  n.kids.(i) <- None;
+                  child_changed := true);
+              if child.disk <> before then child_changed := true
+          | _ -> ())
+        n.kids;
+    let is_empty = Array.for_all (fun k -> k = None) n.kids in
+    if is_empty then begin
+      n.disk <- None;
+      None
+    end
+    else if n.disk <> None && not !child_changed then n.disk
+    else begin
+      (match n.disk with Some e -> obsolete e | None -> ());
+      let e = write_node (node_payload n) in
+      n.disk <- Some e;
+      Some e
+    end
+  and has_dirty (n : node) : bool =
+    n.disk = None
+    || (n.level > 0
+       && Array.exists (function Some (Node c) -> has_dirty c | _ -> false) n.kids)
+  in
+  flush t.root
+
+(** Number of dirty (in-memory-only) nodes — used to pre-reserve log space
+    before a checkpoint. *)
+let count_dirty t : int =
+  let rec go (n : node) =
+    (if n.disk = None then 1 else 0)
+    + (if n.level = 0 then 0
+       else
+         Array.fold_left
+           (fun acc kid -> match kid with Some (Node c) -> acc + go c | _ -> acc)
+           0 n.kids)
+  in
+  go t.root
+
+(* ------------------------------------------------------------------ *)
+(* Whole-tree walks (usage rebuild, snapshots, backups)                *)
+(* ------------------------------------------------------------------ *)
+
+(** Iterate over the *current* in-memory tree: [data] for every data chunk
+    entry, [node] for every clean node's on-disk entry. Loads everything. *)
+let iter t (fetch : fetch) ~(data : chunk_id -> entry -> unit) ~(node : entry -> unit) : unit =
+  let rec go (n : node) =
+    (match n.disk with Some e -> node e | None -> ());
+    Array.iteri
+      (fun i kid ->
+        match kid with
+        | None -> ()
+        | Some (Entry e) -> data (n.base + i) e
+        | Some (Node _) | Some (Unloaded _) -> (
+            match load_child t fetch n i with Some child -> go child | None -> () ))
+      n.kids
+  in
+  go t.root
+
+(** Walk a tree straight off the disk, given its root entry — used for
+    snapshot reads, which must not disturb (or depend on) the live map. *)
+let walk_tree ~fanout (fetch : fetch) ~(root : entry) ~(data : chunk_id -> entry -> unit)
+    ~(node : entry -> unit) : unit =
+  let rec go (e : entry) =
+    node e;
+    let n = node_of_payload ~fanout (fetch ~what:"snapshot map node" e) in
+    Array.iteri
+      (fun i kid ->
+        match kid with
+        | None -> ()
+        | Some (Entry de) -> data (n.base + i) de
+        | Some (Unloaded ce) -> go ce
+        | Some (Node _) -> assert false)
+      n.kids
+  in
+  go root
+
+(** Structural diff of two on-disk trees, pruning identical subtrees by
+    hash — the basis of incremental backups (paper Section 3.2.1).
+    [changed] fires for ids added or modified in [new_root]; [removed] for
+    ids present under [old_root] only. *)
+let diff_trees ~fanout (fetch : fetch) ~(old_root : entry option) ~(new_root : entry option)
+    ~(changed : chunk_id -> entry -> unit) ~(removed : chunk_id -> unit) : unit =
+  let load e = node_of_payload ~fanout (fetch ~what:"diff map node" e) in
+  let entries_equal (a : entry) (b : entry) = entry_equal a b in
+  let rec subtree_all f = function
+    | None -> ()
+    | Some (e : entry) ->
+        let n = load e in
+        Array.iteri
+          (fun i kid ->
+            match kid with
+            | None -> ()
+            | Some (Entry de) -> f (n.base + i) (Some de)
+            | Some (Unloaded ce) -> subtree_all f (Some ce)
+            | Some (Node _) -> assert false)
+          n.kids
+  in
+  let rec go (old_e : entry option) (new_e : entry option) =
+    match (old_e, new_e) with
+    | None, None -> ()
+    | None, Some _ -> subtree_all (fun cid e -> match e with Some e -> changed cid e | None -> ()) new_e
+    | Some _, None -> subtree_all (fun cid _ -> removed cid) old_e
+    | Some oe, Some ne ->
+        if entries_equal oe ne then ()
+        else begin
+          let on = load oe and nn = load ne in
+          if on.level <> nn.level || on.base <> nn.base then tamper "diff: incompatible map nodes";
+          for i = 0 to fanout - 1 do
+            match (on.kids.(i), nn.kids.(i)) with
+            | None, None -> ()
+            | Some (Entry a), Some (Entry b) -> if not (entries_equal a b) then changed (nn.base + i) b
+            | Some (Entry _), None -> removed (on.base + i)
+            | None, Some (Entry b) -> changed (nn.base + i) b
+            | Some (Unloaded a), Some (Unloaded b) -> go (Some a) (Some b)
+            | Some (Unloaded a), None -> go (Some a) None
+            | None, Some (Unloaded b) -> go None (Some b)
+            | _ -> tamper "diff: mixed node kinds"
+          done
+        end
+  in
+  go old_root new_root

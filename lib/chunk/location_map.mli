@@ -1,0 +1,80 @@
+(** The hierarchical location map with the Merkle hash tree embedded in it
+    (paper Section 3.2.1): a fixed-fanout radix tree over chunk ids whose
+    leaf slots hold data-chunk location entries and whose interior slots
+    hold child-node entries. Every entry carries the one-way hash of the
+    bytes it points at, so validating a chunk read validates one
+    root-to-leaf path and the root entry (in the MAC'd anchor)
+    authenticates the whole database.
+
+    Nodes load lazily through a [fetch] callback (which reads the
+    untrusted store, checks the recorded hash and decrypts); dirty nodes
+    live in memory until {!checkpoint} writes them bottom-up. *)
+
+open Types
+
+type kid = Entry of entry | Node of node | Unloaded of entry
+
+and node = {
+  level : int;  (** 0 = leaf *)
+  base : int;  (** first chunk id covered *)
+  kids : kid option array;
+  mutable disk : entry option;  (** on-disk copy, iff clean *)
+}
+
+type t = { fanout : int; depth : int; mutable root : node }
+
+type fetch = what:string -> entry -> string
+(** Validated, decrypted payload at an entry.
+    @raise Tamper_detected on validation failure. *)
+
+val create : fanout:int -> depth:int -> t
+val capacity : t -> int
+
+(** {1 Node serialization} *)
+
+val write_entry : Tdb_pickle.Pickle.writer -> entry -> unit
+val read_entry : Tdb_pickle.Pickle.reader -> entry
+val node_payload : node -> string
+val node_of_payload : fanout:int -> string -> node
+
+(** {1 Point operations} *)
+
+val find : t -> fetch -> chunk_id -> entry option
+
+val set : t -> fetch -> chunk_id -> entry -> entry option * entry list
+(** Install an entry; returns the replaced data entry and the on-disk node
+    copies obsoleted by dirtying the path (for usage accounting). *)
+
+val remove : t -> fetch -> chunk_id -> entry option * entry list
+
+val find_node : t -> fetch -> level:int -> base:int -> node option
+(** Used by the cleaner to test map-node liveness. *)
+
+val root_entry : t -> entry option
+(** The root's on-disk entry; [None] while dirty or empty. *)
+
+val count_dirty : t -> int
+
+(** {1 Checkpoint and whole-tree walks} *)
+
+val checkpoint : t -> write_node:(string -> entry) -> obsolete:(entry -> unit) -> entry option
+(** Write dirty nodes bottom-up; returns the new root entry. *)
+
+val iter : t -> fetch -> data:(chunk_id -> entry -> unit) -> node:(entry -> unit) -> unit
+(** Walk the current tree (loads everything): every data entry and every
+    clean node's on-disk entry — recovery's usage rebuild. *)
+
+val walk_tree :
+  fanout:int -> fetch -> root:entry -> data:(chunk_id -> entry -> unit) -> node:(entry -> unit) -> unit
+(** Walk a tree straight off the disk (snapshot reads). *)
+
+val diff_trees :
+  fanout:int ->
+  fetch ->
+  old_root:entry option ->
+  new_root:entry option ->
+  changed:(chunk_id -> entry -> unit) ->
+  removed:(chunk_id -> unit) ->
+  unit
+(** Structural diff pruning identical subtrees by hash — the basis of
+    incremental backups. *)

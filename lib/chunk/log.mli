@@ -1,0 +1,84 @@
+(** The log: segment allocation, tail appends, usage accounting. The chunk
+    store is log-structured (paper Section 3.2.1): the log is the {e only}
+    storage; records append at the tail and never update in place. The
+    store divides into fixed segments chained by [Next_segment] markers so
+    recovery can follow the residual log.
+
+    Segments whose live usage drops to zero become reusable only at
+    {e barriers} (durable commit / checkpoint / recovery): before that
+    their garbage may still be needed — versions obsoleted by nondurable
+    commits must survive until durability (paper Section 3.2.2), and
+    records since the last checkpoint form the residual log. Barriers also
+    return trailing free segments to the untrusted store (the paper's
+    "increase or decrease the space allocated"). *)
+
+open Types
+
+val header_size : int
+val magic_byte : char
+val marker_size : int
+
+type t = {
+  store : Tdb_platform.Untrusted_store.t;
+  cfg : Config.t;
+  log_base : int;
+  mutable nsegments : int;
+  usage : (int, int) Hashtbl.t;
+  mutable free : int list;
+  pinned : (int, int) Hashtbl.t;
+  residual : (int, unit) Hashtbl.t;
+  mutable residual_bytes : int;
+  mutable tail_seg : int;
+  mutable tail_off : int;
+  mutable grown : int;
+}
+
+val create : Tdb_platform.Untrusted_store.t -> Config.t -> t
+
+val of_recovery :
+  Tdb_platform.Untrusted_store.t -> Config.t -> tail_seg:int -> tail_off:int ->
+  usage:(int, int) Hashtbl.t -> t
+(** Recovery-mode construction: tail from the anchor; the caller rebuilds
+    [usage] by walking the recovered map, then calls {!barrier}. *)
+
+(** {1 Accounting} *)
+
+val segment_size : t -> int
+val usage_of : t -> int -> int
+val capacity : t -> int
+val live_bytes : t -> int
+val utilization : t -> float
+val free_count : t -> int
+val nsegments : t -> int
+val tail_pos : t -> int * int
+val record_space : int -> int
+val residual_bytes : t -> int
+val obsolete_bytes : t -> seg:int -> payload_len:int -> unit
+val obsolete_entry : t -> entry -> unit
+
+(** {1 Barriers, growth, pinning} *)
+
+val barrier : t -> unit
+val end_checkpoint : t -> unit
+val grow : t -> segments:int -> unit
+val pin : t -> int -> unit
+val unpin : t -> int -> unit
+val is_pinned : t -> int -> bool
+
+(** {1 Record I/O} *)
+
+exception Need_segment
+
+val append : ?live:bool -> t -> record_kind -> string -> int * int
+(** Append at the tail; returns the payload position. [live] records are
+    charged to segment usage; transient (commit) records are not.
+    @raise Need_segment when the free list is empty (caller grows). *)
+
+val read_payload : t -> entry -> string
+val parse_record : t -> seg:int -> off:int -> (record_kind * int * string) option
+val scan_segment : t -> int -> (record_kind * int * string) list
+val scan_chain : t -> seg:int -> off:int -> f:(record_kind -> int * int -> string -> unit) -> unit
+
+val clean_candidates : t -> int list
+(** Cleanable segments, least-utilized first (never tail / pinned /
+    residual / empty). *)

@@ -1,0 +1,38 @@
+(** Security context: the keys and algorithms the chunk store uses, or
+    no-ops when security is disabled (the paper's plain "TDB" mode).
+    Payloads are encrypted (CBC, fresh IV) and labelled by a one-way hash
+    of the stored bytes (encrypt-then-hash — the Merkle labels); the
+    anchor and commit chain carry HMAC-SHA256 under separate derived keys. *)
+
+type t = {
+  enabled : bool;
+  cipher : Tdb_crypto.Cbc.cipher option;
+  hash : (module Tdb_crypto.Hash.S);
+  hash_len : int;
+  mac_key : string;
+  iv_gen : Tdb_crypto.Drbg.t;
+}
+
+val create : Config.t -> Tdb_platform.Secret_store.t -> t
+
+val seal : t -> string -> string
+(** Encrypt for storage (identity when security is off). *)
+
+val unseal : t -> string -> string
+(** @raise Types.Tamper_detected on malformed padding. *)
+
+val label : t -> string -> string
+(** Digest of stored bytes — the Merkle label ("" when disabled). *)
+
+val check_label : t -> expected:string -> string -> what:string -> unit
+(** @raise Types.Tamper_detected on mismatch (no-op when disabled). *)
+
+val mac : t -> string -> string
+(** HMAC under the anchor key; degrades to a plain digest when security is
+    off (torn-write detection only, no forgery resistance). *)
+
+val mac_len : int
+val check_mac : t -> expected:string -> string -> what:string -> bool
+
+val seal_overhead : t -> int -> int
+(** Storage overhead (IV + padding) of sealing an n-byte payload. *)

@@ -1,0 +1,102 @@
+(** Index key types (the paper's GenericKey hierarchy).
+
+    A key type bundles ordering and a *canonical* pickled form: equal keys
+    must pickle to equal bytes (hash indexes bucket by the bytes; B-trees
+    order by [compare] on the unpickled values). All standard TDB key types
+    below are canonical. *)
+
+module type KEY = sig
+  type k
+
+  val name : string
+  val compare : k -> k -> int
+  val pickle : Tdb_pickle.Pickle.writer -> k -> unit
+  val unpickle : Tdb_pickle.Pickle.reader -> k
+end
+
+type 'k t = (module KEY with type k = 'k)
+
+let to_bytes (type k) ((module K) : k t) (v : k) : string =
+  let w = Tdb_pickle.Pickle.writer () in
+  K.pickle w v;
+  Tdb_pickle.Pickle.contents w
+
+let of_bytes (type k) ((module K) : k t) (s : string) : k =
+  let r = Tdb_pickle.Pickle.reader s in
+  let v = K.unpickle r in
+  Tdb_pickle.Pickle.expect_end r;
+  v
+
+(** Byte-level comparator that decodes and orders — what the index
+    implementations use, so their node classes stay monomorphic (the
+    paper's "all templatization is limited to a single, relatively small
+    class, the Indexer"). *)
+let bytes_compare (type k) ((module K) : k t) : string -> string -> int =
+ fun a b ->
+  let ra = Tdb_pickle.Pickle.reader a and rb = Tdb_pickle.Pickle.reader b in
+  K.compare (K.unpickle ra) (K.unpickle rb)
+
+(* --- standard key types --- *)
+
+let int : int t =
+  (module struct
+    type k = int
+
+    let name = "int"
+    let compare = Int.compare
+    let pickle = Tdb_pickle.Pickle.int
+    let unpickle = Tdb_pickle.Pickle.read_int
+  end)
+
+let string : string t =
+  (module struct
+    type k = string
+
+    let name = "string"
+    let compare = String.compare
+    let pickle = Tdb_pickle.Pickle.string
+    let unpickle = Tdb_pickle.Pickle.read_string
+  end)
+
+let float : float t =
+  (module struct
+    type k = float
+
+    let name = "float"
+    let compare = Float.compare
+    let pickle = Tdb_pickle.Pickle.float
+    let unpickle = Tdb_pickle.Pickle.read_float
+  end)
+
+(** Composite key: lexicographic pair, e.g. (usage count, good id). *)
+let pair (type a b) ((module A) : a t) ((module B) : b t) : (a * b) t =
+  (module struct
+    type k = a * b
+
+    let name = Printf.sprintf "pair(%s,%s)" A.name B.name
+
+    let compare (a1, b1) (a2, b2) =
+      match A.compare a1 a2 with 0 -> B.compare b1 b2 | c -> c
+
+    let pickle w (a, b) =
+      A.pickle w a;
+      B.pickle w b
+
+    let unpickle r =
+      let a = A.unpickle r in
+      let b = B.unpickle r in
+      (a, b)
+  end)
+
+(** Deterministic, persistence-stable hash of a key's canonical bytes
+    (FNV-1a style, with the offset basis truncated to OCaml's 63-bit int):
+    OCaml's [Hashtbl.hash] is not stable across versions, so the dynamic
+    hash index uses this instead. *)
+let hash_bytes (s : string) : int =
+  let h = ref 0x1bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int

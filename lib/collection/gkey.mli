@@ -1,0 +1,39 @@
+(** Index key types (the paper's GenericKey hierarchy).
+
+    A key type bundles ordering and a {e canonical} pickled form: equal
+    keys must pickle to equal bytes (hash indexes bucket by the bytes;
+    B-trees order by [compare] on the decoded values). All key types below
+    are canonical; composite application keys built with {!pair} inherit
+    canonicity from their components. *)
+
+module type KEY = sig
+  type k
+
+  val name : string
+  val compare : k -> k -> int
+  val pickle : Tdb_pickle.Pickle.writer -> k -> unit
+  val unpickle : Tdb_pickle.Pickle.reader -> k
+end
+
+type 'k t = (module KEY with type k = 'k)
+
+val to_bytes : 'k t -> 'k -> string
+val of_bytes : 'k t -> string -> 'k
+
+val bytes_compare : 'k t -> string -> string -> int
+(** Comparator on canonical bytes (decode, then [compare]) — what keeps the
+    index node classes monomorphic (paper Section 5.2.1: "all
+    templatization is limited to ... the Indexer"). *)
+
+(** {1 Standard key types} *)
+
+val int : int t
+val string : string t
+val float : float t
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+(** Lexicographic composite key. *)
+
+val hash_bytes : string -> int
+(** Deterministic, persistence-stable hash of canonical key bytes (FNV-1a
+    style) — OCaml's [Hashtbl.hash] is not stable across versions. *)

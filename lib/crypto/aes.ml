@@ -1,0 +1,180 @@
+(** AES-128 (FIPS 197), implemented from first principles.
+
+    Instead of a hard-coded S-box, the substitution table is computed from
+    its mathematical definition (multiplicative inverse in GF(2^8) followed
+    by the affine transform), and the round constants by repeated doubling
+    in the field. The FIPS-197 appendix vector pins correctness in the test
+    suite.
+
+    TDB's paper used 3DES; we substitute AES (and {!Triple} over it for a
+    3DES-like three-pass cost profile) — see DESIGN.md, "Substitutions". *)
+
+let name = "aes128"
+let block_size = 16
+let key_size = 16
+
+(* --- GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1 --- *)
+
+let xtime x =
+  let x2 = x lsl 1 in
+  if x land 0x80 <> 0 then (x2 lxor 0x1b) land 0xff else x2
+
+let gmul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 <> 0 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+let ginv =
+  (* brute-force inverse table; ginv.(0) = 0 by AES convention *)
+  let t = Array.make 256 0 in
+  for x = 1 to 255 do
+    let y = ref 1 in
+    while gmul x !y <> 1 do
+      incr y
+    done;
+    t.(x) <- !y
+  done;
+  t
+
+let sbox =
+  let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xff in
+  Array.init 256 (fun x ->
+      let b = ginv.(x) in
+      b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63)
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i s -> t.(s) <- i) sbox;
+  t
+
+(* Precomputed GF(2^8) multiplication tables for the hot paths. *)
+let mul2 = Array.init 256 (fun x -> gmul x 2)
+let mul3 = Array.init 256 (fun x -> gmul x 3)
+let mul9 = Array.init 256 (fun x -> gmul x 9)
+let mul11 = Array.init 256 (fun x -> gmul x 11)
+let mul13 = Array.init 256 (fun x -> gmul x 13)
+let mul14 = Array.init 256 (fun x -> gmul x 14)
+
+type key = { enc : int array (* 44 32-bit words *) }
+
+let of_secret secret =
+  if String.length secret <> key_size then invalid_arg "Aes.of_secret: need 16 bytes";
+  let w = Array.make 44 0 in
+  for i = 0 to 3 do
+    w.(i) <-
+      (Char.code secret.[4 * i] lsl 24)
+      lor (Char.code secret.[(4 * i) + 1] lsl 16)
+      lor (Char.code secret.[(4 * i) + 2] lsl 8)
+      lor Char.code secret.[(4 * i) + 3]
+  done;
+  let sub_word x =
+    (sbox.((x lsr 24) land 0xff) lsl 24)
+    lor (sbox.((x lsr 16) land 0xff) lsl 16)
+    lor (sbox.((x lsr 8) land 0xff) lsl 8)
+    lor sbox.(x land 0xff)
+  in
+  let rot_word x = ((x lsl 8) lor (x lsr 24)) land 0xFFFFFFFF in
+  let rcon = ref 1 in
+  for i = 4 to 43 do
+    let t = w.(i - 1) in
+    let t = if i mod 4 = 0 then sub_word (rot_word t) lxor (!rcon lsl 24) else t in
+    if i mod 4 = 0 then rcon := xtime !rcon;
+    w.(i) <- w.(i - 4) lxor t
+  done;
+  { enc = w }
+
+(* State as 16-element int array, state.(r + 4*c) = byte at row r column c. *)
+
+let add_round_key st (w : int array) round =
+  for c = 0 to 3 do
+    let word = w.((4 * round) + c) in
+    st.(4 * c) <- st.(4 * c) lxor ((word lsr 24) land 0xff);
+    st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((word lsr 16) land 0xff);
+    st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((word lsr 8) land 0xff);
+    st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (word land 0xff)
+  done
+
+let shift_rows st =
+  (* row r of column c lives at st.(4*c + r) *)
+  let tmp = Array.copy st in
+  for c = 0 to 3 do
+    for r = 1 to 3 do
+      st.((4 * c) + r) <- tmp.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let inv_shift_rows st =
+  let tmp = Array.copy st in
+  for c = 0 to 3 do
+    for r = 1 to 3 do
+      st.((4 * ((c + r) mod 4)) + r) <- tmp.((4 * c) + r)
+    done
+  done
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c)
+    and a1 = st.((4 * c) + 1)
+    and a2 = st.((4 * c) + 2)
+    and a3 = st.((4 * c) + 3) in
+    st.(4 * c) <- mul2.(a0) lxor mul3.(a1) lxor a2 lxor a3;
+    st.((4 * c) + 1) <- a0 lxor mul2.(a1) lxor mul3.(a2) lxor a3;
+    st.((4 * c) + 2) <- a0 lxor a1 lxor mul2.(a2) lxor mul3.(a3);
+    st.((4 * c) + 3) <- mul3.(a0) lxor a1 lxor a2 lxor mul2.(a3)
+  done
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let a0 = st.(4 * c)
+    and a1 = st.((4 * c) + 1)
+    and a2 = st.((4 * c) + 2)
+    and a3 = st.((4 * c) + 3) in
+    st.(4 * c) <- mul14.(a0) lxor mul11.(a1) lxor mul13.(a2) lxor mul9.(a3);
+    st.((4 * c) + 1) <- mul9.(a0) lxor mul14.(a1) lxor mul11.(a2) lxor mul13.(a3);
+    st.((4 * c) + 2) <- mul13.(a0) lxor mul9.(a1) lxor mul14.(a2) lxor mul11.(a3);
+    st.((4 * c) + 3) <- mul11.(a0) lxor mul13.(a1) lxor mul9.(a2) lxor mul14.(a3)
+  done
+
+let encrypt_block { enc = w } ~src ~src_off ~dst ~dst_off =
+  let st = Array.init 16 (fun i -> Char.code (Bytes.get src (src_off + i))) in
+  add_round_key st w 0;
+  for round = 1 to 9 do
+    for i = 0 to 15 do
+      st.(i) <- sbox.(st.(i))
+    done;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st w round
+  done;
+  for i = 0 to 15 do
+    st.(i) <- sbox.(st.(i))
+  done;
+  shift_rows st;
+  add_round_key st w 10;
+  for i = 0 to 15 do
+    Bytes.set dst (dst_off + i) (Char.chr st.(i))
+  done
+
+let decrypt_block { enc = w } ~src ~src_off ~dst ~dst_off =
+  let st = Array.init 16 (fun i -> Char.code (Bytes.get src (src_off + i))) in
+  add_round_key st w 10;
+  for round = 9 downto 1 do
+    inv_shift_rows st;
+    for i = 0 to 15 do
+      st.(i) <- inv_sbox.(st.(i))
+    done;
+    add_round_key st w round;
+    inv_mix_columns st
+  done;
+  inv_shift_rows st;
+  for i = 0 to 15 do
+    st.(i) <- inv_sbox.(st.(i))
+  done;
+  add_round_key st w 0;
+  for i = 0 to 15 do
+    Bytes.set dst (dst_off + i) (Char.chr st.(i))
+  done

@@ -1,0 +1,6 @@
+(** AES-128 (FIPS 197), implemented from first principles: the S-box is
+    computed from its definition (GF(2^8) inverse + affine map) instead of
+    a hard-coded table, and the FIPS-197 appendix vector pins correctness.
+    Stands in for the paper's 3DES (see DESIGN.md, "Substitutions"). *)
+
+include Block.CIPHER

@@ -1,0 +1,71 @@
+(** CBC mode with PKCS#7 padding over any {!Block.CIPHER}.
+
+    The chunk store encrypts every chunk in CBC with a fresh IV prepended to
+    the ciphertext. PKCS#7 padding reproduces the per-chunk "padding for
+    block encryption" storage overhead the paper measures for TDB-S. *)
+
+exception Bad_padding
+
+(** A cipher instance packaged with its expanded key, so upper layers can
+    select the cipher at run time (TDB's modular configuration). *)
+type cipher = Cipher : (module Block.CIPHER with type key = 'k) * 'k -> cipher
+
+let make (module C : Block.CIPHER) ~(secret : string) : cipher =
+  Cipher ((module C), C.of_secret secret)
+
+let cipher_name (Cipher ((module C), _)) = C.name
+let block_size (Cipher ((module C), _)) = C.block_size
+
+(** [padded_len c n] is the ciphertext length (excluding IV) for an [n]-byte
+    plaintext: next multiple of the block size, always adding 1..bs bytes. *)
+let padded_len (Cipher ((module C), _)) n = n + C.block_size - (n mod C.block_size)
+
+(** [encrypt c ~iv plain] returns [iv-sized IV ^ ciphertext]. The IV must be
+    exactly one block. *)
+let encrypt (Cipher ((module C), key)) ~(iv : string) (plain : string) : string =
+  let bs = C.block_size in
+  if String.length iv <> bs then invalid_arg "Cbc.encrypt: IV must be one block";
+  let n = String.length plain in
+  let pad = bs - (n mod bs) in
+  let buf = Bytes.create (n + pad) in
+  Bytes.blit_string plain 0 buf 0 n;
+  Bytes.fill buf n pad (Char.chr pad);
+  let prev = Bytes.of_string iv in
+  let out = Bytes.create (bs + n + pad) in
+  Bytes.blit_string iv 0 out 0 bs;
+  let nblocks = (n + pad) / bs in
+  for b = 0 to nblocks - 1 do
+    let off = b * bs in
+    for i = 0 to bs - 1 do
+      Bytes.set buf (off + i) (Char.chr (Char.code (Bytes.get buf (off + i)) lxor Char.code (Bytes.get prev i)))
+    done;
+    C.encrypt_block key ~src:buf ~src_off:off ~dst:out ~dst_off:(bs + off);
+    Bytes.blit out (bs + off) prev 0 bs
+  done;
+  Bytes.unsafe_to_string out
+
+(** Inverse of {!encrypt}. @raise Bad_padding on malformed input. *)
+let decrypt (Cipher ((module C), key)) (data : string) : string =
+  let bs = C.block_size in
+  let total = String.length data in
+  if total < 2 * bs || (total - bs) mod bs <> 0 then raise Bad_padding;
+  let nblocks = (total - bs) / bs in
+  let src = Bytes.of_string data in
+  let out = Bytes.create (total - bs) in
+  for b = 0 to nblocks - 1 do
+    let coff = bs + (b * bs) in
+    C.decrypt_block key ~src ~src_off:coff ~dst:out ~dst_off:(b * bs);
+    (* XOR with previous ciphertext block (or IV for the first block). *)
+    let poff = coff - bs in
+    for i = 0 to bs - 1 do
+      Bytes.set out ((b * bs) + i)
+        (Char.chr (Char.code (Bytes.get out ((b * bs) + i)) lxor Char.code (Bytes.get src (poff + i))))
+    done
+  done;
+  let padded = Bytes.unsafe_to_string out in
+  let pad = Char.code padded.[String.length padded - 1] in
+  if pad < 1 || pad > bs || pad > String.length padded then raise Bad_padding;
+  for i = String.length padded - pad to String.length padded - 1 do
+    if Char.code padded.[i] <> pad then raise Bad_padding
+  done;
+  String.sub padded 0 (String.length padded - pad)

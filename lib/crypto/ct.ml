@@ -1,0 +1,13 @@
+(** Constant-time comparison, for MAC verification. *)
+
+let equal_string (a : string) (b : string) : bool =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to String.length a - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end
+
+let equal_bytes a b = equal_string (Bytes.unsafe_to_string a) (Bytes.unsafe_to_string b)

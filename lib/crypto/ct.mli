@@ -1,0 +1,4 @@
+(** Constant-time comparison, for MAC verification. *)
+
+val equal_string : string -> string -> bool
+val equal_bytes : bytes -> bytes -> bool

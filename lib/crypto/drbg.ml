@@ -1,0 +1,38 @@
+(** Deterministic random bit generator built on SHA-256.
+
+    A simple hash-DRBG: each request rekeys the state as
+    [state_{i+1} = H(0x01 || state_i)] and produces output blocks
+    [H(0x02 || state_i || counter)]. Deterministic seeding keeps tests and
+    benchmarks reproducible; production embedders reseed from the platform
+    secret store plus device entropy. *)
+
+type t = { mutable state : string; mutable reqs : int }
+
+let create ~(seed : string) : t = { state = Sha256.digest ("tdb-drbg-seed" ^ seed); reqs = 0 }
+
+let generate (t : t) (n : int) : string =
+  if n < 0 then invalid_arg "Drbg.generate";
+  let buf = Buffer.create n in
+  let ctr = ref 0 in
+  while Buffer.length buf < n do
+    let block = Sha256.digest (Printf.sprintf "\x02%s%d.%d" t.state t.reqs !ctr) in
+    Buffer.add_string buf block;
+    incr ctr
+  done;
+  t.reqs <- t.reqs + 1;
+  t.state <- Sha256.digest ("\x01" ^ t.state);
+  Buffer.sub buf 0 n
+
+(** Derive an independent generator, e.g. one per chunk-store instance. *)
+let split (t : t) (label : string) : t =
+  let d = create ~seed:(t.state ^ "/" ^ label) in
+  t.state <- Sha256.digest ("\x01" ^ t.state);
+  d
+
+(** 63-bit non-negative integer in [0, bound). *)
+let int (t : t) (bound : int) : int =
+  if bound <= 0 then invalid_arg "Drbg.int";
+  let s = generate t 8 in
+  let v = ref 0 in
+  String.iter (fun c -> v := ((!v lsl 8) lor Char.code c) land max_int) s;
+  !v mod bound

@@ -1,0 +1,14 @@
+(** Deterministic random bit generator built on SHA-256 (hash-DRBG style).
+    Deterministic seeding keeps tests and benchmarks reproducible;
+    production embedders reseed from the secret store plus device entropy. *)
+
+type t
+
+val create : seed:string -> t
+val generate : t -> int -> string
+
+val split : t -> string -> t
+(** Derive an independent generator; advances the parent. *)
+
+val int : t -> int -> int
+(** Uniform-ish value in [0, bound). @raise Invalid_argument on bound <= 0. *)

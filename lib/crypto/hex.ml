@@ -1,0 +1,28 @@
+(** Hexadecimal encoding/decoding, used by tests, tools and debug output. *)
+
+let of_string (s : string) : string =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  let digit k = "0123456789abcdef".[k] in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set out (2 * i) (digit (c lsr 4));
+    Bytes.set out ((2 * i) + 1) (digit (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out
+
+let of_bytes (b : bytes) : string = of_string (Bytes.to_string b)
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.nibble: not a hex digit"
+
+let to_string (s : string) : string =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.to_string: odd length";
+  String.init (n / 2) (fun i -> Char.chr ((nibble s.[2 * i] lsl 4) lor nibble s.[(2 * i) + 1]))
+
+let to_bytes (s : string) : bytes = Bytes.of_string (to_string s)

@@ -1,0 +1,10 @@
+(** Hexadecimal encoding/decoding (tests, tools, debug output). *)
+
+val of_string : string -> string
+val of_bytes : bytes -> string
+
+val to_string : string -> string
+(** @raise Invalid_argument on odd length or non-hex digits. *)
+
+val to_bytes : string -> bytes
+val nibble : char -> int

@@ -1,0 +1,50 @@
+(** HMAC (RFC 2104) over any hash from this library.
+
+    TDB signs the anchor and the commit chain with [hmac_sha256] keyed by a
+    key derived from the platform secret store. *)
+
+let compute (module H : Hash.S) ~(key : string) (data : string) : string =
+  let key = if String.length key > H.block_size then H.digest key else key in
+  let pad c =
+    String.init H.block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  let ipad = pad 0x36 and opad = pad 0x5c in
+  let inner =
+    let c = H.init () in
+    H.feed c ipad;
+    H.feed c data;
+    H.get c
+  in
+  let c = H.init () in
+  H.feed c opad;
+  H.feed c inner;
+  H.get c
+
+let sha1 ~key data = compute (module Sha1) ~key data
+let sha256 ~key data = compute (module Sha256) ~key data
+
+(** Incremental HMAC, used to MAC streams (e.g. backups) without
+    materializing them. *)
+type ctx = Ctx : (module Hash.S with type ctx = 'c) * 'c * string -> ctx
+
+let init (module H : Hash.S) ~(key : string) : ctx =
+  let key = if String.length key > H.block_size then H.digest key else key in
+  let pad c =
+    String.init H.block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  let inner = H.init () in
+  H.feed inner (pad 0x36);
+  Ctx ((module H), inner, pad 0x5c)
+
+let feed (Ctx ((module H), inner, _) : ctx) (data : string) : unit = H.feed inner data
+
+let get (Ctx ((module H), inner, opad) : ctx) : string =
+  let inner_digest = H.get inner in
+  let o = H.init () in
+  H.feed o opad;
+  H.feed o inner_digest;
+  H.get o

@@ -1,0 +1,15 @@
+(** HMAC (RFC 2104) over any hash from this library; pinned by the RFC
+    2202/4231 vectors. TDB signs the anchor and commit chain with
+    {!sha256} keyed from the platform secret store. *)
+
+val compute : (module Hash.S) -> key:string -> string -> string
+val sha1 : key:string -> string -> string
+val sha256 : key:string -> string -> string
+
+(** {1 Incremental HMAC} (for streams, e.g. backups) *)
+
+type ctx
+
+val init : (module Hash.S) -> key:string -> ctx
+val feed : ctx -> string -> unit
+val get : ctx -> string

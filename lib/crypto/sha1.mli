@@ -1,0 +1,6 @@
+(** SHA-1 (FIPS 180-4), implemented from scratch and pinned by the FIPS
+    test vectors in the test suite. TDB uses SHA-1 for the Merkle hash tree
+    embedded in the chunk-store location map, matching the paper's
+    configuration (Section 7.3). *)
+
+include Hash.S

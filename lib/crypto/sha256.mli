@@ -1,0 +1,6 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch; round constants are
+    derived (fractional bits of cube roots of primes) rather than typed in,
+    and the FIPS vectors pin correctness. TDB uses SHA-256 for HMACs (the
+    anchor, the commit chain, backups). *)
+
+include Hash.S

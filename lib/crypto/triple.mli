@@ -1,0 +1,9 @@
+(** Triple-cipher EDE construction, generic over any block cipher:
+    [E_k3 (D_k2 (E_k1 x))], the classic 3DES composition. [Aes3] / [Xtea3]
+    reproduce the three-pass CPU cost of the paper's 3DES configuration
+    with ciphers we can verify offline (DESIGN.md, "Substitutions"). *)
+
+module Make (_ : Block.CIPHER) : Block.CIPHER
+
+module Aes3 : Block.CIPHER
+module Xtea3 : Block.CIPHER

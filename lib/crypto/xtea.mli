@@ -1,0 +1,5 @@
+(** XTEA (Needham & Wheeler, 1997): 64-bit blocks, 128-bit keys, 32
+    rounds — the small-code-footprint cipher option, whose 8-byte block
+    mirrors DES/3DES (so CBC padding overhead matches the paper's setup). *)
+
+include Block.CIPHER

@@ -1,0 +1,122 @@
+(** The object cache (paper Section 4.2.2): an LRU cache of unpickled
+    objects indexed by object id.
+
+    Objects enter the cache decrypted, validated, unpickled and
+    type-checked, "ready for direct access by the application". Objects
+    referenced by live transactions are pinned (reference-counted); dirty
+    objects are pinned until their transaction ends — the no-steal policy.
+    When cumulative size exceeds the budget, least-recently-used unpinned
+    entries are evicted. *)
+
+type entry = {
+  oid : int;
+  mutable value : Obj_class.packed_value;
+  mutable size : int; (* last known pickled size, for budgeting *)
+  mutable pins : int;
+  mutable prev : entry option; (* towards MRU *)
+  mutable next : entry option; (* towards LRU *)
+}
+
+type t = {
+  table : (int, entry) Hashtbl.t;
+  mutable mru : entry option;
+  mutable lru : entry option;
+  mutable total_size : int;
+  mutable budget : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~(budget : int) : t =
+  { table = Hashtbl.create 256; mru = None; lru = None; total_size = 0; budget; hits = 0; misses = 0; evictions = 0 }
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.mru <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.lru <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_mru t e =
+  e.next <- t.mru;
+  e.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some e | None -> t.lru <- Some e);
+  t.mru <- Some e
+
+let touch t e =
+  unlink t e;
+  push_mru t e
+
+let evict_until_within t =
+  let rec go cursor =
+    if t.total_size > t.budget then
+      match cursor with
+      | None -> ()
+      | Some e ->
+          let prev = e.prev in
+          if e.pins = 0 then begin
+            unlink t e;
+            Hashtbl.remove t.table e.oid;
+            t.total_size <- t.total_size - e.size;
+            t.evictions <- t.evictions + 1
+          end;
+          go prev
+  in
+  go t.lru
+
+let find t (oid : int) : entry option =
+  match Hashtbl.find_opt t.table oid with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      touch t e;
+      Some e
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(** Insert or replace; returns the entry so callers can pin it. *)
+let put t (oid : int) (value : Obj_class.packed_value) ~(size : int) : entry =
+  match Hashtbl.find_opt t.table oid with
+  | Some e ->
+      t.total_size <- t.total_size - e.size + size;
+      e.value <- value;
+      e.size <- size;
+      touch t e;
+      evict_until_within t;
+      e
+  | None ->
+      let e = { oid; value; size; pins = 0; prev = None; next = None } in
+      Hashtbl.replace t.table oid e;
+      push_mru t e;
+      t.total_size <- t.total_size + size;
+      evict_until_within t;
+      e
+
+let pin (e : entry) = e.pins <- e.pins + 1
+
+let unpin t (e : entry) =
+  if e.pins <= 0 then invalid_arg "Cache.unpin: not pinned";
+  e.pins <- e.pins - 1;
+  if t.total_size > t.budget then evict_until_within t
+
+(** Drop an entry outright (transaction abort evicts objects opened for
+    writing, paper Section 4.2.3). *)
+let remove t (oid : int) : unit =
+  match Hashtbl.find_opt t.table oid with
+  | None -> ()
+  | Some e ->
+      unlink t e;
+      Hashtbl.remove t.table e.oid;
+      t.total_size <- t.total_size - e.size
+
+let update_size t (e : entry) ~(size : int) =
+  t.total_size <- t.total_size - e.size + size;
+  e.size <- size;
+  evict_until_within t
+
+let stats t = (t.hits, t.misses, t.evictions)
+let resident t = Hashtbl.length t.table
+let total_size t = t.total_size
+let set_budget t b =
+  t.budget <- b;
+  evict_until_within t

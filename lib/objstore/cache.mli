@@ -1,0 +1,38 @@
+(** The object cache (paper Section 4.2.2): an LRU cache of unpickled
+    objects indexed by object id. Objects enter decrypted, validated,
+    unpickled and type-checked — "ready for direct access by the
+    application". Entries referenced by live transactions are pinned
+    (reference-counted); dirty objects stay pinned until their transaction
+    ends (no-steal). Over-budget unpinned LRU entries are evicted. *)
+
+type entry = {
+  oid : int;
+  mutable value : Obj_class.packed_value;
+  mutable size : int;
+  mutable pins : int;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+type t
+
+val create : budget:int -> t
+
+val find : t -> int -> entry option
+(** Hit moves the entry to MRU. *)
+
+val put : t -> int -> Obj_class.packed_value -> size:int -> entry
+(** Insert or replace (pins preserved on replace); may evict. *)
+
+val pin : entry -> unit
+val unpin : t -> entry -> unit
+val remove : t -> int -> unit
+(** Drop outright (transaction abort evicts its dirty objects). *)
+
+val update_size : t -> entry -> size:int -> unit
+val stats : t -> int * int * int
+(** (hits, misses, evictions). *)
+
+val resident : t -> int
+val total_size : t -> int
+val set_budget : t -> int -> unit

@@ -1,0 +1,99 @@
+(** Shared/exclusive object locks with timeout-based deadlock breaking
+    (paper Section 4.2.3).
+
+    The object store provides "transactional isolation using strict
+    two-phase locking"; a blocked open "raises an exception after a timeout
+    interval, thus breaking potential deadlocks". The store's single state
+    mutex is *released* while a thread waits on a lock — acquire here takes
+    that mutex and waits by unlock/sleep/relock, exactly the behaviour the
+    paper describes for avoiding spurious deadlocks between the state mutex
+    and transactional locks.
+
+    Geared to low concurrency on purpose: no granular locks, no lock
+    escalation, a plain hash table of per-object queues. *)
+
+exception Lock_timeout of { oid : int; txn : int }
+
+type mode = Shared | Exclusive
+
+type entry = { mutable holders : (int * mode) list (* txn id, mode *) }
+
+type t = {
+  table : (int, entry) Hashtbl.t;
+  by_txn : (int, (int, unit) Hashtbl.t) Hashtbl.t; (* txn -> oids held *)
+}
+
+let create () = { table = Hashtbl.create 64; by_txn = Hashtbl.create 8 }
+
+let mode_of t ~txn ~oid =
+  match Hashtbl.find_opt t.table oid with
+  | None -> None
+  | Some e -> List.assoc_opt txn e.holders
+
+(** Can [txn] acquire [mode] on the entry right now? *)
+let grantable (e : entry) ~txn ~mode =
+  match mode with
+  | Shared -> List.for_all (fun (t', m) -> t' = txn || m = Shared) e.holders
+  | Exclusive -> List.for_all (fun (t', _) -> t' = txn) e.holders
+
+let note_held t ~txn ~oid =
+  let oids =
+    match Hashtbl.find_opt t.by_txn txn with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 8 in
+        Hashtbl.replace t.by_txn txn h;
+        h
+  in
+  Hashtbl.replace oids oid ()
+
+(** Acquire (or upgrade to) [mode] on [oid] for [txn]. [mu] is the store's
+    state mutex, held by the caller; it is released while waiting.
+    @raise Lock_timeout after [timeout] seconds. *)
+let acquire t ~(mu : Mutex.t) ~(txn : int) ~(oid : int) ~(mode : mode) ~(timeout : float) : unit =
+  let e =
+    match Hashtbl.find_opt t.table oid with
+    | Some e -> e
+    | None ->
+        let e = { holders = [] } in
+        Hashtbl.replace t.table oid e;
+        e
+  in
+  (match List.assoc_opt txn e.holders with
+  | Some Exclusive -> () (* already strongest *)
+  | Some Shared when mode = Shared -> ()
+  | _ ->
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec wait () =
+        if grantable e ~txn ~mode then begin
+          e.holders <- (txn, mode) :: List.remove_assoc txn e.holders
+        end
+        else if Unix.gettimeofday () >= deadline then raise (Lock_timeout { oid; txn })
+        else begin
+          (* release the state mutex while blocked, as the paper requires *)
+          Mutex.unlock mu;
+          Thread.delay 0.0005;
+          Mutex.lock mu;
+          wait ()
+        end
+      in
+      wait ());
+  note_held t ~txn ~oid
+
+(** Strict two-phase locking: all locks are released together at the end of
+    the transaction. *)
+let release_all t ~(txn : int) : unit =
+  match Hashtbl.find_opt t.by_txn txn with
+  | None -> ()
+  | Some oids ->
+      Hashtbl.iter
+        (fun oid () ->
+          match Hashtbl.find_opt t.table oid with
+          | None -> ()
+          | Some e ->
+              e.holders <- List.remove_assoc txn e.holders;
+              if e.holders = [] then Hashtbl.remove t.table oid)
+        oids;
+      Hashtbl.remove t.by_txn txn
+
+let held_count t = Hashtbl.length t.table

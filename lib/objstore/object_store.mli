@@ -1,0 +1,96 @@
+(** The object store (paper Section 4): typed, named, transactional storage
+    of application objects over the chunk store.
+
+    An object's persistent id {e is} its chunk id (single-object chunks,
+    Section 4.2.1). Recently used objects live decrypted, validated and
+    unpickled in an LRU cache; dirty objects are pinned until commit
+    (no-steal). Transactions use strict two-phase locking with
+    shared/exclusive object locks, deadlocks broken by timeout; refs are
+    invalidated when their transaction ends, and typed opens are checked
+    against the stored class (type witnesses in place of the paper's C++
+    RTTI). Persistence is by explicit {!insert}/{!remove}, not
+    reachability, and object ids are never swizzled into pointers. *)
+
+type oid = int
+(** Persistent object id (= the chunk id the object is stored in). *)
+
+val pp_oid : Format.formatter -> oid -> unit
+
+exception Unknown_object of oid
+exception Stale_ref
+(** A ref was dereferenced after its transaction ended (paper Section 4.1:
+    a checked runtime error). *)
+
+exception Removed_in_transaction of oid
+
+(** {1 Store} *)
+
+type config = {
+  lock_timeout : float;  (** seconds before a blocked open raises (deadlock breaking) *)
+  locking : bool;  (** paper: "the application may even switch off locking" *)
+  cache_budget : int;  (** object cache budget, bytes *)
+}
+
+val default_config : config
+
+type t
+
+val of_chunk_store : ?config:config -> Tdb_chunk.Chunk_store.t -> t
+val chunk_store : t -> Tdb_chunk.Chunk_store.t
+val close : t -> unit
+val checkpoint : t -> unit
+
+val cache_stats : t -> int * int * int
+(** (hits, misses, evictions). *)
+
+val get_root : t -> string -> oid option
+(** Committed value of a named root. *)
+
+(** {1 Transactions} (paper Figure 3) *)
+
+type txn
+
+type ('a, 'mode) ref_
+(** A smart pointer, valid only while its transaction is active. The
+    phantom ['mode] separates read-only from writable references. *)
+
+type readonly
+type writable
+
+val begin_ : t -> txn
+
+val deref : ('a, 'mode) ref_ -> 'a
+(** @raise Stale_ref if the owning transaction has ended. *)
+
+val insert : txn -> 'a Obj_class.t -> 'a -> oid
+(** Insert a new object (exclusively locked, pinned dirty until commit). *)
+
+val open_readonly : txn -> 'a Obj_class.t -> oid -> ('a, readonly) ref_
+(** Shared lock; class-checked.
+    @raise Obj_class.Type_mismatch on a wrong expected class.
+    @raise Lock_manager.Lock_timeout after the configured timeout.
+    @raise Unknown_object if the id has no object. *)
+
+val open_writable : txn -> 'a Obj_class.t -> oid -> ('a, writable) ref_
+(** Exclusive lock; the object joins the write set and is pickled and
+    written at commit. Mutate the dereferenced value in place. *)
+
+val remove : txn -> oid -> unit
+(** Remove the object; its id is released at commit. *)
+
+val set_root : txn -> string -> oid option -> unit
+(** Register ([Some]) or clear ([None]) a named root within the txn. *)
+
+val root : txn -> string -> oid option
+(** Root as seen by this transaction (pending updates included). *)
+
+val commit : ?durable:bool -> txn -> unit
+(** Pickle the write set and commit everything as one atomic chunk batch;
+    durable by default. Releases locks and invalidates the txn's refs. *)
+
+val abort : txn -> unit
+(** Discard the write set; objects opened for writing are evicted from the
+    cache (paper Section 4.2.3) and inserted ids released. *)
+
+val with_txn : ?durable:bool -> t -> (txn -> 'a) -> 'a
+(** Run [f] in a transaction; commit on return, abort on exception. *)

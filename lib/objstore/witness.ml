@@ -1,0 +1,33 @@
+(** Run-time type witnesses (the hmap/type-identifier idiom).
+
+    The paper's object store uses C++ RTTI to make [Ref<T>] construction
+    type-safe ("the attempt to construct Ref<MyObject> would fail with a
+    checked runtime error", Section 4.1). In OCaml we get the same guarantee
+    from extensible-GADT type identifiers: every registered class owns a
+    unique witness, and opening an object checks witness equality before
+    exposing the value at the expected type. *)
+
+type (_, _) eq = Eq : ('a, 'a) eq
+
+module Tid = struct
+  type _ t = ..
+end
+
+module type Tid = sig
+  type t
+  type _ Tid.t += Tid : t Tid.t
+end
+
+type 'a t = (module Tid with type t = 'a)
+
+let create (type s) () : s t =
+  (module struct
+    type t = s
+    type _ Tid.t += Tid : t Tid.t
+  end)
+
+let eq : type r s. r t -> s t -> (r, s) eq option =
+ fun r s ->
+  let module R = (val r) in
+  let module S = (val s) in
+  match R.Tid with S.Tid -> Some Eq | _ -> None

@@ -1,0 +1,11 @@
+(** Run-time type witnesses (the extensible-GADT type-identifier idiom).
+    Every registered class owns a unique witness; opening an object checks
+    witness equality before exposing the value at the expected type — the
+    OCaml replacement for the paper's C++ RTTI-checked Refs. *)
+
+type (_, _) eq = Eq : ('a, 'a) eq
+
+type 'a t
+
+val create : unit -> 'a t
+val eq : 'a t -> 'b t -> ('a, 'b) eq option

@@ -1,0 +1,90 @@
+(** The one-way persistent counter (paper Figure 1): readable by anyone,
+    incrementable, never decrementable. Real devices use dedicated hardware
+    (the paper cites the Infineon Eurochip); the paper's own evaluation
+    emulates it "as a file on the same NTFS partition" (Section 7.2), and we
+    provide the same file emulation plus an in-memory one for tests.
+
+    The chunk store compares this counter against the signed value stored
+    with the database to detect replay attacks (Section 3). *)
+
+type t = {
+  read : unit -> int64;
+  increment : unit -> int64; (* returns the new value *)
+}
+
+let read t = t.read ()
+let increment t = t.increment ()
+
+(** In-memory counter; [rollback] deliberately violates one-wayness so the
+    test suite can model a *broken* counter and check that TDB treats the
+    resulting mismatch as tampering. *)
+module Mem = struct
+  type handle = { mutable v : int64 }
+
+  let rollback (h : handle) (v : int64) = h.v <- v
+end
+
+let open_mem ?(initial = 0L) () : Mem.handle * t =
+  let h = { Mem.v = initial } in
+  ( h,
+    {
+      read = (fun () -> h.Mem.v);
+      increment =
+        (fun () ->
+          h.Mem.v <- Int64.add h.Mem.v 1L;
+          h.Mem.v);
+    } )
+
+(** File-backed counter. The value is stored with a checksum in two slots
+    written alternately, so a torn write of one slot never loses
+    monotonicity: on read we take the highest valid slot. *)
+let open_file (path : string) : t =
+  let checksum v = String.sub (Tdb_crypto.Sha256.digest (Printf.sprintf "owc:%Ld" v)) 0 8 in
+  let encode v = Printf.sprintf "%020Ld:%s" v (Tdb_crypto.Hex.of_string (checksum v)) in
+  let slot_len = String.length (encode 0L) in
+  let decode s =
+    match String.index_opt s ':' with
+    | None -> None
+    | Some i ->
+        let v = Int64.of_string_opt (String.sub s 0 i) in
+        ( match v with
+        | Some v when String.sub s (i + 1) (String.length s - i - 1) = Tdb_crypto.Hex.of_string (checksum v) ->
+            Some v
+        | _ -> None )
+  in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o600 in
+  let read_slots () =
+    let sz = (Unix.fstat fd).Unix.st_size in
+    if sz < 2 * slot_len then []
+    else begin
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      let buf = Bytes.create (2 * slot_len) in
+      let rec fill pos = if pos < Bytes.length buf then fill (pos + Unix.read fd buf pos (Bytes.length buf - pos)) in
+      fill 0;
+      List.filter_map decode [ Bytes.sub_string buf 0 slot_len; Bytes.sub_string buf slot_len slot_len ]
+    end
+  in
+  let current () = List.fold_left max 0L (read_slots ()) in
+  let write_slot i v =
+    ignore (Unix.lseek fd (i * slot_len) Unix.SEEK_SET);
+    let s = encode v in
+    let b = Bytes.unsafe_of_string s in
+    let rec drain pos = if pos < Bytes.length b then drain (pos + Unix.write fd b pos (Bytes.length b - pos)) in
+    drain 0;
+    Unix.fsync fd
+  in
+  (* Initialize both slots if empty. *)
+  if read_slots () = [] then begin
+    write_slot 0 0L;
+    write_slot 1 0L
+  end;
+  let next_slot = ref 0 in
+  {
+    read = current;
+    increment =
+      (fun () ->
+        let v = Int64.add (current ()) 1L in
+        write_slot !next_slot v;
+        next_slot := 1 - !next_slot;
+        v);
+  }

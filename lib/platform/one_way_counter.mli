@@ -1,0 +1,23 @@
+(** The one-way persistent counter (paper Figure 1): readable by anyone,
+    incrementable, never decrementable. Real devices use dedicated
+    hardware (the paper cites the Infineon Eurochip); the paper's own
+    evaluation emulates it "as a file on the same NTFS partition" (§7.2)
+    and {!open_file} reproduces exactly that, torn-write-safe via two
+    checksummed slots. The chunk store compares this counter with the
+    authenticated database state to detect replay attacks. *)
+
+type t = { read : unit -> int64; increment : unit -> int64 (** returns the new value *) }
+
+val read : t -> int64
+val increment : t -> int64
+
+module Mem : sig
+  type handle
+
+  val rollback : handle -> int64 -> unit
+  (** Deliberately violates one-wayness so tests can model a {e broken}
+      counter and check that TDB flags the mismatch as tampering. *)
+end
+
+val open_mem : ?initial:int64 -> unit -> Mem.handle * t
+val open_file : string -> t

@@ -1,0 +1,52 @@
+(** The platform secret store (paper Figure 1): a small trusted-read store
+    holding the secret key — ROM/battery-backed SRAM on real devices.
+
+    Only "authorized programs" (anything holding a [t]) can read it; the
+    attacker model gives no access. Keys for specific purposes are derived
+    from the master secret with HMAC-SHA256, so compromising one derived key
+    does not reveal the others. *)
+
+type t = { master : string }
+
+let key_size = 32
+
+(** In-memory secret store seeded deterministically (tests, benchmarks). *)
+let of_seed (seed : string) : t = { master = Tdb_crypto.Sha256.digest ("tdb-master:" ^ seed) }
+
+(** Load from (or initialize into) a key file — the "ROM image". *)
+let of_file (path : string) : t =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    if String.length s <> key_size then failwith "Secret_store.of_file: corrupt key file";
+    { master = s }
+  end
+  else begin
+    let master =
+      Tdb_crypto.Sha256.digest (Printf.sprintf "init:%f:%d:%s" (Unix.gettimeofday ()) (Unix.getpid ()) path)
+    in
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o600 path in
+    output_string oc master;
+    close_out oc;
+    { master }
+  end
+
+(** [derive t purpose] is a 32-byte key bound to [purpose]
+    (e.g. ["chunk-encryption"], ["anchor-mac"], ["backup-mac"]). *)
+let derive (t : t) (purpose : string) : string = Tdb_crypto.Hmac.sha256 ~key:t.master purpose
+
+(** Derive a key of exactly [len] bytes (block ciphers want 16/48). *)
+let derive_len (t : t) (purpose : string) (len : int) : string =
+  let buf = Buffer.create len in
+  let i = ref 0 in
+  while Buffer.length buf < len do
+    Buffer.add_string buf (derive t (Printf.sprintf "%s#%d" purpose !i));
+    incr i
+  done;
+  Buffer.sub buf 0 len
+
+(** Zeroization on tamper response (battery-backed SRAM behaviour). After
+    this, all derived keys are unrecoverable. *)
+let zeroize (t : t) : t = ignore t; { master = String.make key_size '\000' }

@@ -1,0 +1,77 @@
+(** The untrusted store (paper Figure 1): a random-access byte store
+    holding the database, which the attacker — the device's owner — may
+    arbitrarily read and modify, including offline.
+
+    Everything above this interface (the chunk store) must assume its
+    contents are hostile. Two implementations:
+    - {!open_file}: a real file (the paper's database lived in an NTFS
+      file);
+    - {!open_mem}: in-memory with {e fault injection} — crashes losing an
+      arbitrary subset of unsynced writes, plus the attacker primitives
+      (scan, corrupt, snapshot, replay) the test suites use. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable syncs : int;
+}
+
+type t = {
+  read : off:int -> len:int -> bytes;
+  write : off:int -> string -> unit;
+  size : unit -> int;
+  set_size : int -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+  stats : stats;
+}
+(** A store as a record of operations, so wrappers (e.g. the benchmark's
+    simulated disk) can interpose per-call behaviour. *)
+
+val read : t -> off:int -> len:int -> bytes
+(** @raise Invalid_argument when the range exceeds the store. *)
+
+val write : t -> off:int -> string -> unit
+(** Extends the store as needed; holes read as zeros. *)
+
+val size : t -> int
+
+val set_size : t -> int -> unit
+(** Truncate or zero-extend. *)
+
+val sync : t -> unit
+(** Make all preceding writes crash-durable. *)
+
+val close : t -> unit
+val stats : t -> stats
+
+(** {1 In-memory store with fault injection} *)
+
+module Mem : sig
+  type handle
+
+  val crash : ?persist_prob:float -> rng:(int -> int) -> handle -> unit
+  (** Simulate a crash: synced state survives; each unsynced write
+      independently survives with [persist_prob]; size changes always
+      survive (journaled metadata). *)
+
+  val crash_hard : handle -> unit
+  (** Crash losing every unsynced write. *)
+
+  val corrupt : handle -> off:int -> len:int -> mask:int -> unit
+  (** Attacker: XOR [mask] over a byte range (offline modification). *)
+
+  val snapshot : handle -> Bytes.t
+  (** Attacker: copy the full image (to replay later). *)
+
+  val restore : handle -> Bytes.t -> unit
+  (** Attacker: replay a previously saved image. *)
+
+  val contents : handle -> string
+  (** Attacker: raw view for offline analysis. *)
+end
+
+val open_mem : unit -> Mem.handle * t
+val open_file : string -> t

@@ -1,0 +1,84 @@
+(** TPC-B driver for the Berkeley DB-style baseline: four B+tree tables
+    keyed by decimal id, flat 100-byte values, per-commit log force. As in
+    the paper's runs, the engine does not checkpoint during the benchmark,
+    so its log keeps growing (Figure 11, right). *)
+
+open Tdb_platform
+open Tdb_baseline
+
+type t = {
+  db : Bdb.t;
+  data : Untrusted_store.t; (* unwrapped stores, for byte stats *)
+  wal : Untrusted_store.t;
+  clock : Sim_disk.clock;
+  mutable next_history : int;
+}
+
+let tables = [ "account"; "teller"; "branch" ]
+
+let setup ?(model = Sim_disk.paper_platform) (scale : Workload.scale) : t =
+  let clock = Sim_disk.clock () in
+  let _, raw_data = Untrusted_store.open_mem () in
+  let _, raw_wal = Untrusted_store.open_mem () in
+  let data = Sim_disk.wrap_store model clock raw_data in
+  let wal = Sim_disk.wrap_store model clock raw_wal in
+  let db =
+    Bdb.open_
+      ~config:{ Bdb.cache_bytes = scale.Workload.cache_bytes; checkpoint_wal_bytes = None }
+      ~data ~wal ()
+  in
+  let load table n =
+    let batch = 2_000 in
+    let loaded = ref 0 in
+    while !loaded < n do
+      let upto = min n (!loaded + batch) in
+      let x = Bdb.begin_ db in
+      for id = !loaded to upto - 1 do
+        Bdb.put x ~table ~key:(Workload.key_of_id id)
+          ~value:(Workload.flat_of_record (Workload.make_record ~id ~balance:0))
+      done;
+      Bdb.commit ~durable:false x;
+      loaded := upto
+    done
+  in
+  load "account" scale.Workload.accounts;
+  load "teller" scale.Workload.tellers;
+  load "branch" scale.Workload.branches;
+  ignore tables;
+  (* load complete: flush pages and start the benchmark with an empty log *)
+  Bdb.checkpoint db;
+  { db; data = raw_data; wal = raw_wal; clock; next_history = 0 }
+
+let update x ~table ~id ~delta : int =
+  let key = Workload.key_of_id id in
+  match Bdb.get x ~table ~key with
+  | None -> failwith (Printf.sprintf "tpcb: missing %s %d" table id)
+  | Some flat ->
+      let r = Workload.record_of_flat flat in
+      r.Workload.balance <- r.Workload.balance + delta;
+      Bdb.put x ~table ~key ~value:(Workload.flat_of_record r);
+      r.Workload.balance
+
+(** One TPC-B transaction (durable commit). *)
+let txn (t : t) (input : Workload.txn_input) : int =
+  let x = Bdb.begin_ t.db in
+  let balance = update x ~table:"account" ~id:input.Workload.account ~delta:input.Workload.delta in
+  ignore (update x ~table:"teller" ~id:input.Workload.teller ~delta:input.Workload.delta);
+  ignore (update x ~table:"branch" ~id:input.Workload.branch ~delta:input.Workload.delta);
+  let h = Workload.make_history ~h_id:t.next_history ~input in
+  (* flatten the history record into 100 bytes *)
+  let flat =
+    Workload.flat_of_record
+      (Workload.make_record ~id:h.Workload.h_id ~balance:h.Workload.h_delta)
+  in
+  Bdb.put x ~table:"history" ~key:(Workload.key_of_id h.Workload.h_id) ~value:flat;
+  t.next_history <- t.next_history + 1;
+  Bdb.commit ~durable:true x;
+  balance
+
+let bytes_written (t : t) : int =
+  (Untrusted_store.stats t.data).Untrusted_store.bytes_written
+  + (Untrusted_store.stats t.wal).Untrusted_store.bytes_written
+
+let db_size (t : t) : int = Untrusted_store.size t.data + Untrusted_store.size t.wal
+let sim_time (t : t) : float = t.clock.Sim_disk.elapsed

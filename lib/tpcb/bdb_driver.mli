@@ -1,0 +1,17 @@
+(** TPC-B driver for the Berkeley DB-style baseline: four B+tree tables
+    keyed by decimal id, flat 100-byte values, per-commit log force, and —
+    as in the paper's runs — no checkpointing during the benchmark. *)
+
+type t = {
+  db : Tdb_baseline.Bdb.t;
+  data : Tdb_platform.Untrusted_store.t;
+  wal : Tdb_platform.Untrusted_store.t;
+  clock : Sim_disk.clock;
+  mutable next_history : int;
+}
+
+val setup : ?model:Sim_disk.model -> Workload.scale -> t
+val txn : t -> Workload.txn_input -> int
+val bytes_written : t -> int
+val db_size : t -> int
+val sim_time : t -> float

@@ -1,0 +1,111 @@
+(** Experiment runner: executes the TPC-B workload against either engine
+    and reports the figures the paper reports — average response time over
+    the trailing (steady-state) half of the run, bytes written per
+    transaction, and final database size. *)
+
+type result = {
+  label : string;
+  txns : int;
+  avg_ms : float; (* cpu + simulated I/O *)
+  p95_ms : float;
+  cpu_avg_ms : float;
+  io_avg_ms : float;
+  bytes_per_txn : float; (* steady-state *)
+  db_size : int; (* final on-disk footprint, bytes *)
+  live_bytes : int; (* TDB only: live data *)
+}
+
+let percentile (samples : float array) (p : float) : float =
+  if Array.length samples = 0 then 0.0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    sorted.(min (Array.length sorted - 1) (int_of_float (p *. float_of_int (Array.length sorted))))
+  end
+
+let mean (samples : float array) : float =
+  if Array.length samples = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 samples /. float_of_int (Array.length samples)
+
+(** Drive [txn] for [scale.transactions] inputs; measure the trailing
+    [scale.measured]. [sim_time] reads the simulated-I/O clock; [bytes]
+    reads cumulative bytes written. *)
+let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~(seed : string)
+    ~(txn : Workload.txn_input -> unit) ~(sim_time : unit -> float) ~(bytes : unit -> int) :
+    float array * float array * float array * float =
+  let rng = Tdb_crypto.Drbg.create ~seed in
+  let n = scale.Workload.transactions in
+  let measured = min n scale.Workload.measured in
+  let warmup = n - measured in
+  let total = Array.make measured 0.0 in
+  let cpu = Array.make measured 0.0 in
+  let io = Array.make measured 0.0 in
+  let fg_bytes = ref 0 in
+  for i = 0 to n - 1 do
+    (* DRM workloads are "short sequences of transactions separated by long
+       idle periods" (paper Section 1); with [idle_every], maintenance runs
+       between bursts and neither its time nor its writes are charged to
+       any transaction *)
+    (match (idle_every, idle) with
+    | Some k, Some f when i > 0 && i mod k = 0 -> f ()
+    | _ -> ());
+    let input = Workload.gen_txn rng scale in
+    let t0 = Unix.gettimeofday () and s0 = sim_time () and b0 = bytes () in
+    txn input;
+    let t1 = Unix.gettimeofday () and s1 = sim_time () in
+    if i >= warmup then begin
+      let j = i - warmup in
+      cpu.(j) <- t1 -. t0;
+      io.(j) <- s1 -. s0;
+      total.(j) <- (t1 -. t0) +. (s1 -. s0);
+      fg_bytes := !fg_bytes + (bytes () - b0)
+    end
+  done;
+  let bytes_per_txn = float_of_int !fg_bytes /. float_of_int measured in
+  (total, cpu, io, bytes_per_txn)
+
+let run_tdb ?(security = true) ?(max_utilization = 0.6) ?model ?idle_every (scale : Workload.scale) :
+    result =
+  let t = Tdb_driver.setup ~security ~max_utilization ?model scale in
+  let total, cpu, io, bytes_per_txn =
+    drive ?idle_every ~idle:(fun () -> Tdb_driver.idle_clean t) scale ~seed:"tpcb-run"
+      ~txn:(fun input -> ignore (Tdb_driver.txn t input))
+      ~sim_time:(fun () -> Tdb_driver.sim_time t)
+      ~bytes:(fun () -> Tdb_driver.bytes_written t)
+  in
+  {
+    label = (if security then "TDB-S" else "TDB");
+    txns = Array.length total;
+    avg_ms = 1000. *. mean total;
+    p95_ms = 1000. *. percentile total 0.95;
+    cpu_avg_ms = 1000. *. mean cpu;
+    io_avg_ms = 1000. *. mean io;
+    bytes_per_txn;
+    db_size = Tdb_driver.db_size t;
+    live_bytes = Tdb_driver.live_bytes t;
+  }
+
+let run_bdb ?model (scale : Workload.scale) : result =
+  let t = Bdb_driver.setup ?model scale in
+  let total, cpu, io, bytes_per_txn =
+    drive scale ~seed:"tpcb-run"
+      ~txn:(fun input -> ignore (Bdb_driver.txn t input))
+      ~sim_time:(fun () -> Bdb_driver.sim_time t)
+      ~bytes:(fun () -> Bdb_driver.bytes_written t)
+  in
+  {
+    label = "BerkeleyDB";
+    txns = Array.length total;
+    avg_ms = 1000. *. mean total;
+    p95_ms = 1000. *. percentile total 0.95;
+    cpu_avg_ms = 1000. *. mean cpu;
+    io_avg_ms = 1000. *. mean io;
+    bytes_per_txn;
+    db_size = Bdb_driver.db_size t;
+    live_bytes = 0;
+  }
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf "%-12s avg %6.2f ms  (cpu %5.2f + io %5.2f)  p95 %6.2f ms  %7.0f B/txn  db %6.2f MB"
+    r.label r.avg_ms r.cpu_avg_ms r.io_avg_ms r.p95_ms r.bytes_per_txn
+    (float_of_int r.db_size /. 1048576.)

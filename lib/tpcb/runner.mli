@@ -1,0 +1,28 @@
+(** Experiment runner: drives the TPC-B workload against either engine and
+    reports what the paper reports — steady-state average response time,
+    foreground bytes written per transaction, and final database size. *)
+
+type result = {
+  label : string;
+  txns : int;
+  avg_ms : float;  (** measured CPU + simulated I/O *)
+  p95_ms : float;
+  cpu_avg_ms : float;
+  io_avg_ms : float;
+  bytes_per_txn : float;  (** foreground (transaction-path) writes only *)
+  db_size : int;
+  live_bytes : int;  (** TDB only *)
+}
+
+val percentile : float array -> float -> float
+val mean : float array -> float
+
+val run_tdb :
+  ?security:bool -> ?max_utilization:float -> ?model:Sim_disk.model -> ?idle_every:int ->
+  Workload.scale -> result
+(** [idle_every] injects idle-period maintenance (uncharged cleaning) every
+    N transactions — the paper's DRM workload shape. *)
+
+val run_bdb : ?model:Sim_disk.model -> Workload.scale -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,84 @@
+(** Simulated-disk timing for the benchmark harness.
+
+    The container this reproduction runs in has neither the paper's 7200 rpm
+    EIDE disk nor NTFS write-through semantics, and wall-clock I/O here is
+    dominated by page-cache memcpys. To reproduce the paper's *response
+    times* (which are dominated by positioning and log-force latency) we
+    charge a calibrated time model for each store operation and add the
+    accumulated simulated I/O time to the measured CPU time:
+
+    - sequential writes pay transfer time only (the log tail; BDB's WAL);
+    - non-sequential writes pay a positioning penalty (BDB's in-place page
+      writebacks when the buffer pool steals dirty pages);
+    - a sync with pending writes pays a log-force latency (both engines
+      force their log once per durable transaction — the paper's
+      WRITE_THROUGH log files);
+    - bulk reads (>= 32 KiB: the cleaner scanning cold segments) pay
+      positioning plus transfer; small reads are free (warm caches);
+    - the one-way counter file costs a small force of its own per update
+      ("emulated as a file on the same NTFS partition", Section 7.2) —
+      this is the dominant cost TDB-S adds over TDB.
+
+    Defaults are calibrated against the paper's platform (8.9/10.9 ms
+    seeks, 4.2 ms average rotational latency, 2 MB controller cache and the
+    NT lazy writer smoothing random write-backs): positioning 3.3 ms, log
+    force 3.5 ms, counter force 2.0 ms, 20 MB/s transfer. The calibration
+    anchors one point — the baseline's absolute response time — and every
+    other number (TDB, TDB-S, the utilization sweep) falls out of the
+    implementations. Reads are not charged (both systems run with warm
+    caches in steady state; the paper's working sets are cacheable). *)
+
+type model = {
+  position_s : float; (* penalty for a non-sequential write *)
+  force_s : float; (* log force: sync with pending writes *)
+  counter_force_s : float; (* one-way-counter file update *)
+  transfer_bytes_per_s : float;
+}
+
+let paper_platform =
+  { position_s = 0.0033; force_s = 0.0035; counter_force_s = 0.002; transfer_bytes_per_s = 20e6 }
+
+(** Shared simulated clock: all wrapped devices of one experiment add into
+    the same clock. *)
+type clock = { mutable elapsed : float }
+
+let clock () = { elapsed = 0.0 }
+
+(** Wrap a store so its writes/syncs advance [clock] per [model]. *)
+let wrap_store (m : model) (c : clock) (s : Tdb_platform.Untrusted_store.t) : Tdb_platform.Untrusted_store.t
+    =
+  let last_end = ref (-1) in
+  let pending = ref false in
+  {
+    s with
+    Tdb_platform.Untrusted_store.read =
+      (fun ~off ~len ->
+        if len >= 32 * 1024 then begin
+          c.elapsed <- c.elapsed +. m.position_s +. (float_of_int len /. m.transfer_bytes_per_s);
+          last_end := off + len
+        end;
+        s.Tdb_platform.Untrusted_store.read ~off ~len);
+    Tdb_platform.Untrusted_store.write =
+      (fun ~off data ->
+        if off <> !last_end then c.elapsed <- c.elapsed +. m.position_s;
+        c.elapsed <- c.elapsed +. (float_of_int (String.length data) /. m.transfer_bytes_per_s);
+        last_end := off + String.length data;
+        pending := true;
+        s.Tdb_platform.Untrusted_store.write ~off data);
+    Tdb_platform.Untrusted_store.sync =
+      (fun () ->
+        if !pending then c.elapsed <- c.elapsed +. m.force_s;
+        pending := false;
+        s.Tdb_platform.Untrusted_store.sync ());
+  }
+
+(** Wrap a one-way counter so increments charge the counter-file force. *)
+let wrap_counter (m : model) (c : clock) (ctr : Tdb_platform.One_way_counter.t) :
+    Tdb_platform.One_way_counter.t =
+  {
+    Tdb_platform.One_way_counter.read = (fun () -> Tdb_platform.One_way_counter.read ctr);
+    increment =
+      (fun () ->
+        c.elapsed <- c.elapsed +. m.counter_force_s;
+        Tdb_platform.One_way_counter.increment ctr);
+  }

@@ -1,0 +1,22 @@
+(** Simulated-disk timing for the benchmark harness: the container has
+    neither the paper's 7200 rpm EIDE disk nor NTFS write-through, so each
+    store operation charges a calibrated time model into a shared clock and
+    the runner adds the accumulated simulated I/O time to measured CPU.
+    The model anchors exactly one number — the baseline's response time —
+    and everything else falls out of the implementations (EXPERIMENTS.md). *)
+
+type model = {
+  position_s : float;  (** penalty for a non-sequential write (or bulk read) *)
+  force_s : float;  (** log force: sync with pending writes *)
+  counter_force_s : float;  (** one-way-counter file update *)
+  transfer_bytes_per_s : float;
+}
+
+val paper_platform : model
+
+type clock = { mutable elapsed : float }
+
+val clock : unit -> clock
+
+val wrap_store : model -> clock -> Tdb_platform.Untrusted_store.t -> Tdb_platform.Untrusted_store.t
+val wrap_counter : model -> clock -> Tdb_platform.One_way_counter.t -> Tdb_platform.One_way_counter.t

@@ -1,0 +1,694 @@
+(* Chunk store tests: API semantics, durability/recovery, tamper and replay
+   detection, cleaning and the utilization policy, snapshots and diffs. *)
+
+open Tdb_platform
+open Tdb_chunk
+
+let cfg ?(security = true) ?(segment_size = 4096) ?(initial_segments = 8) ?(max_utilization = 0.6)
+    ?(checkpoint_every = 64) () =
+  { Config.default with Config.security; segment_size; initial_segments; max_utilization; checkpoint_every;
+    anchor_slot_size = 2048; clean_batch = 2; checkpoint_residual_bytes = 4 * segment_size }
+
+type env = {
+  mem : Untrusted_store.Mem.handle;
+  store : Untrusted_store.t;
+  secret : Secret_store.t;
+  ctr_h : One_way_counter.Mem.handle;
+  ctr : One_way_counter.t;
+}
+
+let fresh_env () =
+  let mem, store = Untrusted_store.open_mem () in
+  let ctr_h, ctr = One_way_counter.open_mem () in
+  { mem; store; secret = Secret_store.of_seed "test-device"; ctr_h; ctr }
+
+let create ?(config = cfg ()) env = Chunk_store.create ~config ~secret:env.secret ~counter:env.ctr env.store
+let reopen ?(config = cfg ()) env = Chunk_store.open_existing ~config ~secret:env.secret ~counter:env.ctr env.store
+
+(* --- basic API semantics (paper Figure 2) --- *)
+
+let test_write_read () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  let b = Chunk_store.allocate cs in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Chunk_store.write cs a "alpha";
+  Chunk_store.write cs b "beta";
+  Chunk_store.commit cs;
+  Alcotest.(check string) "read a" "alpha" (Chunk_store.read cs a);
+  Alcotest.(check string) "read b" "beta" (Chunk_store.read cs b)
+
+let test_read_uncommitted_batch () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "pending";
+  Alcotest.(check string) "pending visible" "pending" (Chunk_store.read cs a)
+
+let test_unallocated_signals () =
+  let env = fresh_env () in
+  let cs = create env in
+  Alcotest.(check bool) "write unallocated" true
+    (match Chunk_store.write cs 999 "x" with exception Types.Not_allocated 999 -> true | _ -> false);
+  Alcotest.(check bool) "read unwritten" true
+    (match Chunk_store.read cs 999 with exception Types.Not_written 999 -> true | _ -> false);
+  Alcotest.(check bool) "dealloc unallocated" true
+    (match Chunk_store.deallocate cs 999 with exception Types.Not_allocated 999 -> true | _ -> false)
+
+let test_overwrite_and_resize () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "short";
+  Chunk_store.commit cs;
+  Chunk_store.write cs a (String.make 500 'x');
+  Chunk_store.commit cs;
+  Alcotest.(check int) "resized" 500 (String.length (Chunk_store.read cs a));
+  Chunk_store.write cs a "";
+  Chunk_store.commit cs;
+  Alcotest.(check string) "empty state" "" (Chunk_store.read cs a)
+
+let test_deallocate () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "gone soon";
+  Chunk_store.commit cs;
+  Chunk_store.deallocate cs a;
+  Chunk_store.commit cs;
+  Alcotest.(check bool) "read after dealloc" true
+    (match Chunk_store.read cs a with exception Types.Not_written _ -> true | _ -> false);
+  Alcotest.(check bool) "double dealloc" true
+    (match Chunk_store.deallocate cs a with exception Types.Not_allocated _ -> true | _ -> false)
+
+let test_dealloc_never_written () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.deallocate cs a;
+  Alcotest.(check bool) "gone" true
+    (match Chunk_store.write cs a "x" with exception Types.Not_allocated _ -> true | _ -> false)
+
+let test_abort_batch () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "keep";
+  Chunk_store.commit cs;
+  Chunk_store.write cs a "discard";
+  Chunk_store.abort_batch cs;
+  Alcotest.(check string) "old state" "keep" (Chunk_store.read cs a)
+
+let test_chunk_too_large () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Alcotest.(check bool) "too large" true
+    (match Chunk_store.write cs a (String.make 8192 'x') with
+    | exception Types.Chunk_too_large _ -> true
+    | _ -> false)
+
+let test_variable_sizes_roundtrip () =
+  let env = fresh_env () in
+  let cs = create env in
+  let rng = Tdb_crypto.Drbg.create ~seed:"sizes" in
+  let ids =
+    List.init 60 (fun i ->
+        let cid = Chunk_store.allocate cs in
+        let data = Tdb_crypto.Drbg.generate rng (i * 17 mod 900) in
+        Chunk_store.write cs cid data;
+        (cid, data))
+  in
+  Chunk_store.commit cs;
+  List.iter (fun (cid, data) -> Alcotest.(check string) "roundtrip" data (Chunk_store.read cs cid)) ids
+
+(* --- persistence and recovery --- *)
+
+let test_reopen () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "persistent";
+  Chunk_store.commit cs;
+  Chunk_store.close cs;
+  let cs2 = reopen env in
+  Alcotest.(check string) "after reopen" "persistent" (Chunk_store.read cs2 a)
+
+let test_crash_before_commit () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "committed";
+  Chunk_store.commit cs;
+  (* a second write is buffered but never committed *)
+  Chunk_store.write cs a "lost";
+  Untrusted_store.Mem.crash_hard env.mem;
+  let cs2 = reopen env in
+  Alcotest.(check string) "old value" "committed" (Chunk_store.read cs2 a)
+
+let test_crash_after_durable_commit () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "v1";
+  Chunk_store.commit cs;
+  Chunk_store.write cs a "v2";
+  Chunk_store.commit ~durable:true cs;
+  Untrusted_store.Mem.crash_hard env.mem;
+  let cs2 = reopen env in
+  Alcotest.(check string) "durable survives" "v2" (Chunk_store.read cs2 a)
+
+let test_nondurable_commit_lost_on_crash () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "v1";
+  Chunk_store.commit ~durable:true cs;
+  Chunk_store.write cs a "v2";
+  Chunk_store.commit ~durable:false cs;
+  Untrusted_store.Mem.crash_hard env.mem;
+  let cs2 = reopen env in
+  Alcotest.(check string) "nondurable rolled back" "v1" (Chunk_store.read cs2 a)
+
+let test_nondurable_then_durable_survives () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  let b = Chunk_store.allocate cs in
+  Chunk_store.write cs a "v1";
+  Chunk_store.commit ~durable:true cs;
+  Chunk_store.write cs a "v2";
+  Chunk_store.commit ~durable:false cs;
+  Chunk_store.write cs b "other";
+  Chunk_store.commit ~durable:true cs;
+  Untrusted_store.Mem.crash_hard env.mem;
+  let cs2 = reopen env in
+  Alcotest.(check string) "nondurable sealed by durable" "v2" (Chunk_store.read cs2 a);
+  Alcotest.(check string) "durable" "other" (Chunk_store.read cs2 b)
+
+let test_crash_recovery_randomized () =
+  (* Deterministic pseudo-random crash storm: committed state must always
+     be recovered exactly; trailing nondurable commits may be lost. *)
+  let rng = Tdb_crypto.Drbg.create ~seed:"crashstorm" in
+  for round = 1 to 12 do
+    let env = fresh_env () in
+    let cs = ref (create env) in
+    let model : (int, string) Hashtbl.t = Hashtbl.create 16 in
+    let committed = Hashtbl.copy model in
+    let ids = ref [] in
+    for step = 1 to 40 do
+      let c = !cs in
+      (match Tdb_crypto.Drbg.int rng 10 with
+      | 0 when !ids <> [] ->
+          (* deallocate a random chunk *)
+          let cid = List.nth !ids (Tdb_crypto.Drbg.int rng (List.length !ids)) in
+          if Hashtbl.mem model cid then begin
+            Chunk_store.deallocate c cid;
+            Hashtbl.remove model cid
+          end
+      | 1 | 2 | 3 ->
+          let cid = Chunk_store.allocate c in
+          ids := cid :: !ids;
+          let data = Tdb_crypto.Drbg.generate rng (Tdb_crypto.Drbg.int rng 300) in
+          Chunk_store.write c cid data;
+          Hashtbl.replace model cid data
+      | _ when !ids <> [] ->
+          let cid = List.nth !ids (Tdb_crypto.Drbg.int rng (List.length !ids)) in
+          if Hashtbl.mem model cid then begin
+            let data = Tdb_crypto.Drbg.generate rng (Tdb_crypto.Drbg.int rng 300) in
+            Chunk_store.write c cid data;
+            Hashtbl.replace model cid data
+          end
+      | _ -> ());
+      if step mod 5 = 0 then begin
+        Chunk_store.commit ~durable:true c;
+        Hashtbl.reset committed;
+        Hashtbl.iter (fun k v -> Hashtbl.replace committed k v) model
+      end
+    done;
+    (* crash with partial persistence of unsynced writes *)
+    Untrusted_store.Mem.crash ~persist_prob:0.5 ~rng:(fun n -> Tdb_crypto.Drbg.int rng n) env.mem;
+    let c2 = reopen env in
+    Hashtbl.iter
+      (fun cid data ->
+        Alcotest.(check string) (Printf.sprintf "round %d chunk %d" round cid) data (Chunk_store.read c2 cid))
+      committed;
+    cs := c2
+  done
+
+let test_layout_mismatch_rejected () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "x";
+  Chunk_store.commit cs;
+  Chunk_store.close cs;
+  Alcotest.(check bool) "clear error on layout mismatch" true
+    (match reopen ~config:(cfg ~segment_size:8192 ()) env with
+    | exception Chunk_store.Recovery_failed msg ->
+        String.length msg > 6 && String.sub msg 0 6 = "layout"
+    | _ -> false)
+
+let test_open_missing_anchor_fails () =
+  let env = fresh_env () in
+  Alcotest.(check bool) "no anchor" true
+    (match reopen env with exception Chunk_store.Recovery_failed _ -> true | _ -> false)
+
+(* --- tamper detection --- *)
+
+let committed_db () =
+  let env = fresh_env () in
+  let cs = create env in
+  let ids =
+    List.init 30 (fun i ->
+        let cid = Chunk_store.allocate cs in
+        Chunk_store.write cs cid (Printf.sprintf "secret-record-%03d" i);
+        cid)
+  in
+  Chunk_store.commit cs;
+  Chunk_store.checkpoint cs;
+  (env, cs, ids)
+
+let test_tamper_data_detected () =
+  let env, cs, ids = committed_db () in
+  ignore cs;
+  (* flip a bit in every byte of the log body (leaving the anchor intact);
+     every surviving read must either return intact data or signal
+     tampering — and at least one must signal *)
+  let size = Untrusted_store.size env.store in
+  Untrusted_store.Mem.corrupt env.mem ~off:4096 ~len:(size - 4096) ~mask:0x20;
+  let tampered = ref false in
+  (match reopen env with
+  | exception Types.Tamper_detected _ -> tampered := true
+  | exception Chunk_store.Recovery_failed _ -> tampered := true
+  | cs2 ->
+      List.iteri
+        (fun i cid ->
+          match Chunk_store.read cs2 cid with
+          | data -> Alcotest.(check string) "clean read intact" (Printf.sprintf "secret-record-%03d" i) data
+          | exception Types.Tamper_detected _ -> tampered := true)
+        ids);
+  Alcotest.(check bool) "tamper signalled somewhere" true !tampered
+
+let test_tamper_single_bit_detected () =
+  (* the finest-grained attack: one bit, in the middle of the live data *)
+  let env, cs, ids = committed_db () in
+  ignore cs;
+  Untrusted_store.Mem.corrupt env.mem ~off:(4096 + 300) ~len:1 ~mask:0x01;
+  let tampered = ref false in
+  (match reopen env with
+  | exception Types.Tamper_detected _ -> tampered := true
+  | exception Chunk_store.Recovery_failed _ -> tampered := true
+  | cs2 ->
+      List.iter
+        (fun cid ->
+          match Chunk_store.read cs2 cid with
+          | _ -> ()
+          | exception Types.Tamper_detected _ -> tampered := true)
+        ids);
+  Alcotest.(check bool) "single bit flip detected" true !tampered
+
+let test_tamper_anchor_detected () =
+  let env, cs, _ = committed_db () in
+  ignore cs;
+  (* corrupt both anchor slots: open must fail, not silently start empty *)
+  Untrusted_store.Mem.corrupt env.mem ~off:0 ~len:4096 ~mask:0xff;
+  Alcotest.(check bool) "anchor gone" true
+    (match reopen env with
+    | exception Chunk_store.Recovery_failed _ -> true
+    | exception Types.Tamper_detected _ -> true
+    | _ -> false)
+
+let test_replay_attack_detected () =
+  (* the paper's canonical attack: save the database, spend, restore *)
+  let env = fresh_env () in
+  let cs = create env in
+  let balance = Chunk_store.allocate cs in
+  Chunk_store.write cs balance "balance=100";
+  Chunk_store.commit cs;
+  Chunk_store.close cs;
+  let saved = Untrusted_store.Mem.snapshot env.mem in
+  let cs = reopen env in
+  Chunk_store.write cs balance "balance=0";
+  Chunk_store.commit cs;
+  Chunk_store.close cs;
+  (* attacker restores the old image; one-way counter has moved on *)
+  Untrusted_store.Mem.restore env.mem saved;
+  Alcotest.(check bool) "replay detected" true
+    (match reopen env with exception Types.Tamper_detected _ -> true | _ -> false)
+
+let test_counter_rollback_detected () =
+  (* A rollback of exactly one step is indistinguishable from the legal
+     crash-between-sync-and-increment window and gets repaired; any larger
+     rollback of the (supposedly one-way) counter must be flagged. *)
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  for i = 1 to 3 do
+    Chunk_store.write cs a (string_of_int i);
+    Chunk_store.commit cs
+  done;
+  Chunk_store.close cs;
+  One_way_counter.Mem.rollback env.ctr_h 0L;
+  Alcotest.(check bool) "rollback detected" true
+    (match reopen env with exception Types.Tamper_detected _ -> true | _ -> false)
+
+let test_counter_one_behind_repaired () =
+  (* the legal crash window: counter one behind the database is repaired *)
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "v";
+  Chunk_store.commit cs;
+  Chunk_store.close cs;
+  let v = One_way_counter.read env.ctr in
+  One_way_counter.Mem.rollback env.ctr_h (Int64.sub v 1L);
+  let cs2 = reopen env in
+  Alcotest.(check string) "state intact" "v" (Chunk_store.read cs2 a);
+  Alcotest.(check int64) "counter repaired" v (One_way_counter.read env.ctr)
+
+let test_exhaustive_bitflip_sweep () =
+  (* The core security claim, certified by brute force: flipping ANY single
+     bit anywhere in the stored image must never let a read return wrong
+     data — every flip is either harmless (hits garbage or a slack region;
+     reads return the original values) or raises Tamper_detected /
+     Recovery_failed. *)
+  let env = fresh_env () in
+  let config = cfg ~segment_size:2048 ~initial_segments:4 () in
+  let cs = create ~config env in
+  let ids =
+    List.init 12 (fun i ->
+        let cid = Chunk_store.allocate cs in
+        Chunk_store.write cs cid (Printf.sprintf "value-%04d" i);
+        cid)
+  in
+  Chunk_store.commit cs;
+  Chunk_store.close cs;
+  let pristine = Untrusted_store.Mem.snapshot env.mem in
+  let size = Bytes.length pristine in
+  let detected = ref 0 and harmless = ref 0 and silent = ref 0 in
+  let stride = 3 in
+  let pos = ref 0 in
+  while !pos < size do
+    Untrusted_store.Mem.corrupt env.mem ~off:!pos ~len:1 ~mask:0x10;
+    (match reopen ~config env with
+    | exception (Types.Tamper_detected _ | Chunk_store.Recovery_failed _) -> incr detected
+    | cs2 -> (
+        match
+          List.iteri
+            (fun i cid ->
+              if Chunk_store.read cs2 cid <> Printf.sprintf "value-%04d" i then raise Exit)
+            ids
+        with
+        | () -> incr harmless
+        | exception (Types.Tamper_detected _ | Chunk_store.Recovery_failed _) -> incr detected
+        | exception Exit -> incr silent ));
+    Untrusted_store.Mem.restore env.mem pristine;
+    pos := !pos + stride
+  done;
+  Alcotest.(check int) "no silent corruption anywhere in the image" 0 !silent;
+  Alcotest.(check bool) "flips in live data are detected" true (!detected > 0);
+  Alcotest.(check bool) "flips in garbage are harmless" true (!harmless > 0)
+
+let test_no_plaintext_on_media () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  let secret = "TOP-SECRET-CONTENT-KEY-0xDEADBEEF" in
+  Chunk_store.write cs a secret;
+  Chunk_store.commit cs;
+  Chunk_store.checkpoint cs;
+  let image = Untrusted_store.Mem.contents env.mem in
+  (* the secret must not appear in the raw image (encrypted storage) *)
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "no plaintext" false (contains image secret)
+
+let test_plaintext_visible_without_security () =
+  let env = fresh_env () in
+  let cs = create ~config:(cfg ~security:false ()) env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "VISIBLE-WITHOUT-SECURITY";
+  Chunk_store.commit cs;
+  let image = Untrusted_store.Mem.contents env.mem in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "plaintext there" true (contains image "VISIBLE-WITHOUT-SECURITY");
+  (* and the counter is never touched in this mode *)
+  Alcotest.(check int64) "counter untouched" 0L (One_way_counter.read env.ctr)
+
+(* --- cleaning and utilization --- *)
+
+let churn cs ~rounds ~chunks ~size =
+  let ids = Array.init chunks (fun _ -> Chunk_store.allocate cs) in
+  Array.iter (fun cid -> Chunk_store.write cs cid (String.make size 'i')) ids;
+  Chunk_store.commit cs;
+  for r = 1 to rounds do
+    Array.iteri (fun i cid -> if (i + r) mod 3 = 0 then Chunk_store.write cs cid (String.make size 'u')) ids;
+    Chunk_store.commit cs
+  done;
+  ids
+
+let test_cleaning_reclaims_space () =
+  (* Fragmentation workload: long-lived chunks pepper every segment while
+     short-lived neighbours churn, so segments never empty on their own and
+     only the cleaner can reclaim them. *)
+  let env = fresh_env () in
+  let config = cfg ~segment_size:4096 ~initial_segments:8 ~max_utilization:0.8 ~checkpoint_every:8 () in
+  let cs = create ~config env in
+  let stable = Array.init 40 (fun _ -> Chunk_store.allocate cs) in
+  let hot = Array.init 20 (fun _ -> Chunk_store.allocate cs) in
+  for r = 0 to 79 do
+    if r = 0 then Array.iteri (fun i cid -> Chunk_store.write cs cid (Printf.sprintf "stable-%03d" i)) stable;
+    Array.iter (fun cid -> Chunk_store.write cs cid (String.make 150 (Char.chr (Char.code 'a' + (r mod 26))))) hot;
+    Chunk_store.commit cs
+  done;
+  let st = Chunk_store.stats cs in
+  Alcotest.(check bool) "cleaner ran" true (st.Chunk_store.clean_passes > 0);
+  Alcotest.(check bool) "chunks relocated" true (st.Chunk_store.chunks_relocated > 0);
+  Array.iteri
+    (fun i cid -> Alcotest.(check string) "stable intact" (Printf.sprintf "stable-%03d" i) (Chunk_store.read cs cid))
+    stable;
+  Array.iter (fun cid -> Alcotest.(check int) "hot intact" 150 (String.length (Chunk_store.read cs cid))) hot;
+  Alcotest.(check bool) "utilization bounded" true (Chunk_store.utilization cs < 0.95)
+
+let test_cleaning_survives_reopen () =
+  let env = fresh_env () in
+  let config = cfg ~segment_size:4096 ~initial_segments:8 ~max_utilization:0.8 ~checkpoint_every:8 () in
+  let cs = create ~config env in
+  let ids = churn cs ~rounds:40 ~chunks:30 ~size:120 in
+  Chunk_store.close cs;
+  let cs2 = reopen ~config env in
+  Array.iter
+    (fun cid ->
+      let v = Chunk_store.read cs2 cid in
+      Alcotest.(check bool) "intact" true (String.length v = 120))
+    ids
+
+let test_low_utilization_grows_instead () =
+  let env = fresh_env () in
+  let config = cfg ~segment_size:4096 ~initial_segments:8 ~max_utilization:0.3 ~checkpoint_every:1000 () in
+  let cs = create ~config env in
+  ignore (churn cs ~rounds:30 ~chunks:30 ~size:100);
+  let low_size = Chunk_store.capacity cs in
+  let env2 = fresh_env () in
+  let config2 = cfg ~segment_size:4096 ~initial_segments:8 ~max_utilization:0.9 ~checkpoint_every:1000 () in
+  let cs2 = create ~config:config2 env2 in
+  ignore (churn cs2 ~rounds:30 ~chunks:30 ~size:100);
+  let high_size = Chunk_store.capacity cs2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "db smaller at high utilization (%d < %d)" high_size low_size)
+    true (high_size <= low_size)
+
+let test_explicit_idle_clean () =
+  let env = fresh_env () in
+  let config = cfg ~segment_size:4096 ~initial_segments:16 ~max_utilization:0.9 ~checkpoint_every:1000 () in
+  let cs = create ~config env in
+  ignore (churn cs ~rounds:20 ~chunks:20 ~size:200);
+  Chunk_store.checkpoint cs;
+  let before = Chunk_store.live_bytes cs in
+  Chunk_store.clean cs;
+  (* cleaning moves data, it must not create or destroy live bytes (small
+     slack: rewritten map nodes can change size by a few entries) *)
+  Alcotest.(check bool) "live bytes preserved by cleaning" true
+    (abs (Chunk_store.live_bytes cs - before) < 1024);
+  Alcotest.(check bool) "cleaned" true ((Chunk_store.stats cs).Chunk_store.segments_cleaned > 0)
+
+(* --- snapshots and diffs --- *)
+
+let test_snapshot_isolation () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "old";
+  Chunk_store.commit cs;
+  let snap = Chunk_store.snapshot cs in
+  Chunk_store.write cs a "new";
+  Chunk_store.commit cs;
+  let contents = Chunk_store.fold_snapshot cs snap ~init:[] ~f:(fun acc cid data -> (cid, data) :: acc) in
+  Alcotest.(check (list (pair int string))) "snapshot sees old" [ (a, "old") ] contents;
+  Alcotest.(check string) "live sees new" "new" (Chunk_store.read cs a);
+  Chunk_store.release_snapshot cs snap
+
+let test_snapshot_diff () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  let b = Chunk_store.allocate cs in
+  let c = Chunk_store.allocate cs in
+  Chunk_store.write cs a "a1";
+  Chunk_store.write cs b "b1";
+  Chunk_store.write cs c "c1";
+  Chunk_store.commit cs;
+  let s1 = Chunk_store.snapshot cs in
+  Chunk_store.write cs b "b2";
+  Chunk_store.deallocate cs c;
+  let d = Chunk_store.allocate cs in
+  Chunk_store.write cs d "d1";
+  Chunk_store.commit cs;
+  let s2 = Chunk_store.snapshot cs in
+  let changed = ref [] and removed = ref [] in
+  Chunk_store.diff_snapshots cs ~old_id:s1 ~new_id:s2
+    ~changed:(fun cid data -> changed := (cid, data) :: !changed)
+    ~removed:(fun cid -> removed := cid :: !removed);
+  Alcotest.(check (list (pair int string))) "changed" [ (b, "b2"); (d, "d1") ] (List.sort compare !changed);
+  Alcotest.(check (list int)) "removed" [ c ] !removed;
+  Chunk_store.release_snapshot cs s1;
+  Chunk_store.release_snapshot cs s2
+
+let test_snapshot_survives_reopen () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "snapped";
+  Chunk_store.commit cs;
+  let snap = Chunk_store.snapshot cs in
+  Chunk_store.write cs a "moved on";
+  Chunk_store.commit cs;
+  Chunk_store.close cs;
+  let cs2 = reopen env in
+  let contents = Chunk_store.fold_snapshot cs2 snap ~init:[] ~f:(fun acc cid data -> (cid, data) :: acc) in
+  Alcotest.(check (list (pair int string))) "snapshot persisted" [ (a, "snapped") ] contents;
+  Chunk_store.release_snapshot cs2 snap
+
+let test_snapshot_protects_from_cleaner () =
+  let env = fresh_env () in
+  let config = cfg ~segment_size:4096 ~initial_segments:8 ~max_utilization:0.85 ~checkpoint_every:16 () in
+  let cs = create ~config env in
+  let ids = Array.init 20 (fun _ -> Chunk_store.allocate cs) in
+  Array.iteri (fun i cid -> Chunk_store.write cs cid (Printf.sprintf "orig-%d" i)) ids;
+  Chunk_store.commit cs;
+  let snap = Chunk_store.snapshot cs in
+  (* churn hard so the cleaner wants those segments *)
+  for r = 1 to 50 do
+    Array.iter (fun cid -> Chunk_store.write cs cid (Printf.sprintf "new-%d" r)) ids;
+    Chunk_store.commit cs
+  done;
+  let contents = Chunk_store.fold_snapshot cs snap ~init:[] ~f:(fun acc _ d -> d :: acc) in
+  Alcotest.(check int) "all snapshot chunks readable" 20 (List.length contents);
+  List.iter (fun d -> Alcotest.(check bool) "original data" true (String.length d >= 6 && String.sub d 0 4 = "orig")) contents;
+  Chunk_store.release_snapshot cs snap
+
+(* --- checkpoint cadence --- *)
+
+let test_periodic_checkpoint () =
+  let env = fresh_env () in
+  let config = cfg ~checkpoint_every:5 () in
+  let cs = create ~config env in
+  let a = Chunk_store.allocate cs in
+  for i = 1 to 12 do
+    Chunk_store.write cs a (string_of_int i);
+    Chunk_store.commit cs
+  done;
+  Alcotest.(check bool) "checkpoints happened" true ((Chunk_store.stats cs).Chunk_store.checkpoints >= 2)
+
+let qcheck_commit_batches =
+  (* arbitrary batches of writes applied atomically match a model *)
+  QCheck.Test.make ~name:"random batched workload matches model" ~count:15
+    QCheck.(list (small_list (pair (int_range 0 20) (string_of_size QCheck.Gen.(0 -- 200)))))
+    (fun batches ->
+      let env = fresh_env () in
+      let cs = create env in
+      let key_to_cid = Hashtbl.create 16 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun batch ->
+          List.iter
+            (fun (k, v) ->
+              let cid =
+                match Hashtbl.find_opt key_to_cid k with
+                | Some cid -> cid
+                | None ->
+                    let cid = Chunk_store.allocate cs in
+                    Hashtbl.replace key_to_cid k cid;
+                    cid
+              in
+              Chunk_store.write cs cid v;
+              Hashtbl.replace model k v)
+            batch;
+          Chunk_store.commit cs)
+        batches;
+      Hashtbl.fold (fun k v ok -> ok && Chunk_store.read cs (Hashtbl.find key_to_cid k) = v) model true)
+
+let () =
+  Alcotest.run "tdb_chunk"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "pending batch visible" `Quick test_read_uncommitted_batch;
+          Alcotest.test_case "unallocated signals" `Quick test_unallocated_signals;
+          Alcotest.test_case "overwrite/resize" `Quick test_overwrite_and_resize;
+          Alcotest.test_case "deallocate" `Quick test_deallocate;
+          Alcotest.test_case "dealloc unwritten" `Quick test_dealloc_never_written;
+          Alcotest.test_case "abort batch" `Quick test_abort_batch;
+          Alcotest.test_case "chunk too large" `Quick test_chunk_too_large;
+          Alcotest.test_case "variable sizes" `Quick test_variable_sizes_roundtrip;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "reopen" `Quick test_reopen;
+          Alcotest.test_case "crash before commit" `Quick test_crash_before_commit;
+          Alcotest.test_case "crash after durable commit" `Quick test_crash_after_durable_commit;
+          Alcotest.test_case "nondurable lost on crash" `Quick test_nondurable_commit_lost_on_crash;
+          Alcotest.test_case "nondurable sealed by durable" `Quick test_nondurable_then_durable_survives;
+          Alcotest.test_case "randomized crash storm" `Slow test_crash_recovery_randomized;
+          Alcotest.test_case "missing anchor" `Quick test_open_missing_anchor_fails;
+          Alcotest.test_case "layout mismatch" `Quick test_layout_mismatch_rejected;
+        ] );
+      ( "tamper",
+        [
+          Alcotest.test_case "data corruption detected" `Quick test_tamper_data_detected;
+          Alcotest.test_case "single bit flip detected" `Quick test_tamper_single_bit_detected;
+          Alcotest.test_case "exhaustive bit-flip sweep" `Slow test_exhaustive_bitflip_sweep;
+          Alcotest.test_case "anchor corruption detected" `Quick test_tamper_anchor_detected;
+          Alcotest.test_case "replay attack detected" `Quick test_replay_attack_detected;
+          Alcotest.test_case "counter rollback detected" `Quick test_counter_rollback_detected;
+          Alcotest.test_case "counter one-behind repaired" `Quick test_counter_one_behind_repaired;
+          Alcotest.test_case "no plaintext on media" `Quick test_no_plaintext_on_media;
+          Alcotest.test_case "security off is plaintext" `Quick test_plaintext_visible_without_security;
+        ] );
+      ( "cleaning",
+        [
+          Alcotest.test_case "reclaims space" `Quick test_cleaning_reclaims_space;
+          Alcotest.test_case "survives reopen" `Quick test_cleaning_survives_reopen;
+          Alcotest.test_case "grow vs clean policy" `Quick test_low_utilization_grows_instead;
+          Alcotest.test_case "explicit idle clean" `Quick test_explicit_idle_clean;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "isolation" `Quick test_snapshot_isolation;
+          Alcotest.test_case "diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "survives reopen" `Quick test_snapshot_survives_reopen;
+          Alcotest.test_case "protected from cleaner" `Quick test_snapshot_protects_from_cleaner;
+        ] );
+      ("checkpoint", [ Alcotest.test_case "periodic" `Quick test_periodic_checkpoint ]);
+      ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_commit_batches ]);
+    ]

@@ -1,0 +1,516 @@
+(* Object store tests: typed storage, transactional semantics, locking,
+   cache behaviour, persistence. Mirrors the paper's Section 4 guarantees. *)
+
+open Tdb_platform
+open Tdb_chunk
+open Tdb_objstore
+
+let cfg =
+  { Config.default with Config.segment_size = 8192; initial_segments = 8; checkpoint_every = 64;
+    anchor_slot_size = 2048 }
+
+(* --- application classes (the paper's Meter/Profile example) --- *)
+
+type meter = { mutable view_count : int; mutable print_count : int; good : string }
+
+let meter_cls : meter Obj_class.t =
+  Obj_class.define ~name:"test.meter"
+    ~pickle:(fun w m ->
+      Tdb_pickle.Pickle.int w m.view_count;
+      Tdb_pickle.Pickle.int w m.print_count;
+      Tdb_pickle.Pickle.string w m.good)
+    ~unpickle:(fun ~version:_ r ->
+      let view_count = Tdb_pickle.Pickle.read_int r in
+      let print_count = Tdb_pickle.Pickle.read_int r in
+      let good = Tdb_pickle.Pickle.read_string r in
+      { view_count; print_count; good })
+    ()
+
+type profile = { mutable meters : Object_store.oid list }
+
+let profile_cls : profile Obj_class.t =
+  Obj_class.define ~name:"test.profile"
+    ~pickle:(fun w p -> Tdb_pickle.Pickle.list w (fun w o -> Tdb_pickle.Pickle.uint w o) p.meters)
+    ~unpickle:(fun ~version:_ r -> { meters = Tdb_pickle.Pickle.read_list r Tdb_pickle.Pickle.read_uint })
+    ()
+
+type env = { mem : Untrusted_store.Mem.handle; store : Untrusted_store.t; secret : Secret_store.t; ctr : One_way_counter.t }
+
+let fresh_env () =
+  let mem, store = Untrusted_store.open_mem () in
+  let _, ctr = One_way_counter.open_mem () in
+  { mem; store; secret = Secret_store.of_seed "objstore"; ctr }
+
+let fresh ?(config = Object_store.default_config) env =
+  Object_store.of_chunk_store ~config (Chunk_store.create ~config:cfg ~secret:env.secret ~counter:env.ctr env.store)
+
+let reopen ?(config = Object_store.default_config) env =
+  Object_store.of_chunk_store ~config
+    (Chunk_store.open_existing ~config:cfg ~secret:env.secret ~counter:env.ctr env.store)
+
+(* --- basic typed storage --- *)
+
+let test_insert_open () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 1; print_count = 2; good = "song" } in
+  Object_store.commit x;
+  let x2 = Object_store.begin_ os in
+  let m = Object_store.deref (Object_store.open_readonly x2 meter_cls oid) in
+  Alcotest.(check int) "view" 1 m.view_count;
+  Alcotest.(check string) "good" "song" m.good;
+  Object_store.commit x2
+
+let test_type_mismatch () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  let x2 = Object_store.begin_ os in
+  Alcotest.(check bool) "wrong class rejected" true
+    (match Object_store.open_readonly x2 profile_cls oid with
+    | exception Obj_class.Type_mismatch { expected = "test.profile"; actual = "test.meter" } -> true
+    | _ -> false);
+  Object_store.abort x2
+
+let test_stale_ref () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 5; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  let x2 = Object_store.begin_ os in
+  let r = Object_store.open_readonly x2 meter_cls oid in
+  Object_store.commit x2;
+  Alcotest.(check bool) "stale after commit" true
+    (match Object_store.deref r with exception Object_store.Stale_ref -> true | _ -> false);
+  let x3 = Object_store.begin_ os in
+  let r3 = Object_store.open_writable x3 meter_cls oid in
+  Object_store.abort x3;
+  Alcotest.(check bool) "stale after abort" true
+    (match Object_store.deref r3 with exception Object_store.Stale_ref -> true | _ -> false)
+
+let test_update_via_writable () =
+  let env = fresh_env () in
+  let os = fresh env in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "movie" } in
+  Object_store.commit x;
+  (* the paper's increment-view-count transaction *)
+  let x2 = Object_store.begin_ os in
+  let m = Object_store.deref (Object_store.open_writable x2 meter_cls oid) in
+  m.view_count <- m.view_count + 1;
+  Object_store.commit x2;
+  let os2 = reopen env in
+  let x3 = Object_store.begin_ os2 in
+  let m3 = Object_store.deref (Object_store.open_readonly x3 meter_cls oid) in
+  Alcotest.(check int) "persisted increment" 1 m3.view_count;
+  Object_store.abort x3
+
+let test_abort_rolls_back () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 10; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  let x2 = Object_store.begin_ os in
+  let m = Object_store.deref (Object_store.open_writable x2 meter_cls oid) in
+  m.view_count <- 999;
+  Object_store.abort x2;
+  let x3 = Object_store.begin_ os in
+  let m3 = Object_store.deref (Object_store.open_readonly x3 meter_cls oid) in
+  Alcotest.(check int) "dirty state evicted on abort" 10 m3.view_count;
+  Object_store.abort x3
+
+let test_abort_insert_gone () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "g" } in
+  Object_store.abort x;
+  let x2 = Object_store.begin_ os in
+  Alcotest.(check bool) "inserted object gone" true
+    (match Object_store.open_readonly x2 meter_cls oid with
+    | exception Object_store.Unknown_object _ -> true
+    | _ -> false);
+  Object_store.abort x2
+
+let test_remove () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  let x2 = Object_store.begin_ os in
+  Object_store.remove x2 oid;
+  Alcotest.(check bool) "open after remove in txn" true
+    (match Object_store.open_readonly x2 meter_cls oid with
+    | exception Object_store.Removed_in_transaction _ -> true
+    | _ -> false);
+  Object_store.commit x2;
+  let x3 = Object_store.begin_ os in
+  Alcotest.(check bool) "gone after commit" true
+    (match Object_store.open_readonly x3 meter_cls oid with
+    | exception Object_store.Unknown_object _ -> true
+    | _ -> false);
+  Object_store.abort x3
+
+let test_remove_rolled_back_by_abort () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 7; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  let x2 = Object_store.begin_ os in
+  Object_store.remove x2 oid;
+  Object_store.abort x2;
+  let x3 = Object_store.begin_ os in
+  let m = Object_store.deref (Object_store.open_readonly x3 meter_cls oid) in
+  Alcotest.(check int) "still there" 7 m.view_count;
+  Object_store.abort x3
+
+(* --- roots --- *)
+
+let test_roots () =
+  let env = fresh_env () in
+  let os = fresh env in
+  let x = Object_store.begin_ os in
+  let p = Object_store.insert x profile_cls { meters = [] } in
+  Object_store.set_root x "profile" (Some p);
+  Alcotest.(check (option int)) "visible in txn" (Some p) (Object_store.root x "profile");
+  Object_store.commit x;
+  Alcotest.(check (option int)) "committed" (Some p) (Object_store.get_root os "profile");
+  let os2 = reopen env in
+  Alcotest.(check (option int)) "persistent" (Some p) (Object_store.get_root os2 "profile");
+  (* clearing *)
+  let x2 = Object_store.begin_ os2 in
+  Object_store.set_root x2 "profile" None;
+  Object_store.commit x2;
+  Alcotest.(check (option int)) "cleared" None (Object_store.get_root os2 "profile")
+
+let test_root_update_aborted () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let p = Object_store.insert x profile_cls { meters = [] } in
+  Object_store.set_root x "r" (Some p);
+  Object_store.abort x;
+  Alcotest.(check (option int)) "abort discards root" None (Object_store.get_root os "r")
+
+(* --- the paper's Figure 4 scenario --- *)
+
+let test_paper_figure4 () =
+  let env = fresh_env () in
+  let os = fresh env in
+  (* Add a new Meter to the Profile registered as root object. *)
+  let t = Object_store.begin_ os in
+  let profile_id = Object_store.insert t profile_cls { meters = [] } in
+  Object_store.set_root t "root" (Some profile_id);
+  let meter_id = Object_store.insert t meter_cls { view_count = 0; print_count = 0; good = "book" } in
+  let profile = Object_store.deref (Object_store.open_writable t profile_cls profile_id) in
+  profile.meters <- profile.meters @ [ meter_id ];
+  Object_store.commit t;
+  (* Increment view count for first good. *)
+  let t2 = Object_store.begin_ os in
+  let profile_id = Option.get (Object_store.root t2 "root") in
+  let profile = Object_store.deref (Object_store.open_readonly t2 profile_cls profile_id) in
+  let meter_id = List.hd profile.meters in
+  let meter = Object_store.deref (Object_store.open_writable t2 meter_cls meter_id) in
+  meter.view_count <- meter.view_count + 1;
+  Object_store.commit t2;
+  (* verify across restart *)
+  let os2 = reopen env in
+  let t3 = Object_store.begin_ os2 in
+  let profile_id = Option.get (Object_store.root t3 "root") in
+  let profile = Object_store.deref (Object_store.open_readonly t3 profile_cls profile_id) in
+  let m = Object_store.deref (Object_store.open_readonly t3 meter_cls (List.hd profile.meters)) in
+  Alcotest.(check int) "view count" 1 m.view_count;
+  Object_store.abort t3
+
+(* --- concurrency --- *)
+
+let test_concurrent_increments () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  let nthreads = 4 and per_thread = 25 in
+  let threads =
+    List.init nthreads (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to per_thread do
+              let rec attempt () =
+                let t = Object_store.begin_ os in
+                match
+                  let m = Object_store.deref (Object_store.open_writable t meter_cls oid) in
+                  m.view_count <- m.view_count + 1;
+                  Object_store.commit ~durable:false t
+                with
+                | () -> ()
+                | exception Lock_manager.Lock_timeout _ ->
+                    Object_store.abort t;
+                    attempt ()
+              in
+              attempt ()
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  let t = Object_store.begin_ os in
+  let m = Object_store.deref (Object_store.open_readonly t meter_cls oid) in
+  Alcotest.(check int) "serializable increments" (nthreads * per_thread) m.view_count;
+  Object_store.abort t
+
+let test_deadlock_broken_by_timeout () =
+  let config = { Object_store.default_config with Object_store.lock_timeout = 0.1 } in
+  let os = fresh ~config (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let a = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "a" } in
+  let b = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "b" } in
+  Object_store.commit x;
+  let timeouts = ref 0 in
+  let mu = Mutex.create () in
+  let worker (first, second) =
+    let t = Object_store.begin_ os in
+    match
+      ignore (Object_store.open_writable t meter_cls first);
+      Thread.delay 0.05;
+      ignore (Object_store.open_writable t meter_cls second);
+      Object_store.commit ~durable:false t
+    with
+    | () -> ()
+    | exception Lock_manager.Lock_timeout _ ->
+        Mutex.lock mu;
+        incr timeouts;
+        Mutex.unlock mu;
+        Object_store.abort t
+  in
+  let t1 = Thread.create worker (a, b) in
+  let t2 = Thread.create worker (b, a) in
+  Thread.join t1;
+  Thread.join t2;
+  Alcotest.(check bool) "at least one victim" true (!timeouts >= 1)
+
+let test_shared_locks_concurrent_reads () =
+  let os = fresh (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 3; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  (* two transactions hold shared locks simultaneously *)
+  let t1 = Object_store.begin_ os in
+  let t2 = Object_store.begin_ os in
+  let m1 = Object_store.deref (Object_store.open_readonly t1 meter_cls oid) in
+  let m2 = Object_store.deref (Object_store.open_readonly t2 meter_cls oid) in
+  Alcotest.(check int) "t1 reads" 3 m1.view_count;
+  Alcotest.(check int) "t2 reads" 3 m2.view_count;
+  Object_store.commit t1;
+  Object_store.commit t2
+
+let test_writer_blocks_reader () =
+  let config = { Object_store.default_config with Object_store.lock_timeout = 0.05 } in
+  let os = fresh ~config (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  let t1 = Object_store.begin_ os in
+  ignore (Object_store.open_writable t1 meter_cls oid);
+  let t2 = Object_store.begin_ os in
+  Alcotest.(check bool) "reader times out" true
+    (match Object_store.open_readonly t2 meter_cls oid with
+    | exception Lock_manager.Lock_timeout _ -> true
+    | _ -> false);
+  Object_store.abort t2;
+  Object_store.commit t1
+
+let test_locking_disabled () =
+  let config = { Object_store.default_config with Object_store.locking = false } in
+  let os = fresh ~config (fresh_env ()) in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 0; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  (* with locking off, overlapping opens do not block *)
+  let t1 = Object_store.begin_ os in
+  ignore (Object_store.open_writable t1 meter_cls oid);
+  let t2 = Object_store.begin_ os in
+  ignore (Object_store.open_readonly t2 meter_cls oid);
+  Object_store.commit t1;
+  Object_store.abort t2
+
+(* --- cache --- *)
+
+let test_cache_eviction_and_reload () =
+  let config = { Object_store.default_config with Object_store.cache_budget = 512 } in
+  let env = fresh_env () in
+  let os = fresh ~config env in
+  let x = Object_store.begin_ os in
+  let oids =
+    List.init 50 (fun i -> Object_store.insert x meter_cls { view_count = i; print_count = 0; good = String.make 40 'g' })
+  in
+  Object_store.commit x;
+  (* read them all back: far more data than the budget, so eviction + reload
+     must work *)
+  let t = Object_store.begin_ os in
+  List.iteri
+    (fun i oid ->
+      let m = Object_store.deref (Object_store.open_readonly t meter_cls oid) in
+      Alcotest.(check int) "value" i m.view_count)
+    oids;
+  Object_store.abort t;
+  let _, misses, evictions = Object_store.cache_stats os in
+  Alcotest.(check bool) "evictions happened" true (evictions > 0);
+  Alcotest.(check bool) "misses happened" true (misses > 0)
+
+let test_cache_hit_no_io () =
+  let env = fresh_env () in
+  let os = fresh env in
+  let x = Object_store.begin_ os in
+  let oid = Object_store.insert x meter_cls { view_count = 42; print_count = 0; good = "g" } in
+  Object_store.commit x;
+  let t = Object_store.begin_ os in
+  ignore (Object_store.deref (Object_store.open_readonly t meter_cls oid));
+  Object_store.commit t;
+  let reads_before = (Untrusted_store.stats env.store).Untrusted_store.reads in
+  let t2 = Object_store.begin_ os in
+  ignore (Object_store.deref (Object_store.open_readonly t2 meter_cls oid));
+  Object_store.commit t2;
+  let reads_after = (Untrusted_store.stats env.store).Untrusted_store.reads in
+  Alcotest.(check int) "cached read does no store I/O" reads_before reads_after
+
+(* --- persistence of many objects + crash --- *)
+
+let test_crash_recovery_objects () =
+  let env = fresh_env () in
+  let os = fresh env in
+  let x = Object_store.begin_ os in
+  let oids = List.init 20 (fun i -> Object_store.insert x meter_cls { view_count = i; print_count = 0; good = "g" }) in
+  Object_store.commit x;
+  (* uncommitted transaction lost in crash *)
+  let x2 = Object_store.begin_ os in
+  let m = Object_store.deref (Object_store.open_writable x2 meter_cls (List.hd oids)) in
+  m.view_count <- 12345;
+  Untrusted_store.Mem.crash_hard env.mem;
+  let os2 = reopen env in
+  let t = Object_store.begin_ os2 in
+  List.iteri
+    (fun i oid ->
+      let m = Object_store.deref (Object_store.open_readonly t meter_cls oid) in
+      Alcotest.(check int) "committed state" i m.view_count)
+    oids;
+  Object_store.abort t
+
+(* --- schema evolution: version-aware unpickling --- *)
+
+type profile_v2 = { mutable meters2 : Object_store.oid list; mutable plan : string }
+
+let test_schema_evolution () =
+  let env = fresh_env () in
+  (* write data under the v1 class *)
+  let os = fresh env in
+  let oid =
+    Object_store.with_txn os (fun t -> Object_store.insert t profile_cls { meters = [ 42; 43 ] })
+  in
+  Object_store.close os;
+  (* the application is upgraded: same class name, version 2 adds a field;
+     unpickle branches on the stored version *)
+  Obj_class.undefine "test.profile";
+  let v2_cls : profile_v2 Obj_class.t =
+    let module P = Tdb_pickle.Pickle in
+    Obj_class.define ~name:"test.profile" ~version:2
+      ~pickle:(fun w p ->
+        P.list w (fun w o -> P.uint w o) p.meters2;
+        P.string w p.plan)
+      ~unpickle:(fun ~version r ->
+        let meters2 = P.read_list r P.read_uint in
+        let plan = if version >= 2 then P.read_string r else "legacy" in
+        { meters2; plan })
+      ()
+  in
+  let os2 = reopen env in
+  let t = Object_store.begin_ os2 in
+  let p = Object_store.deref (Object_store.open_writable t v2_cls oid) in
+  Alcotest.(check (list int)) "v1 data readable" [ 42; 43 ] p.meters2;
+  Alcotest.(check string) "v1 default" "legacy" p.plan;
+  p.plan <- "premium";
+  Object_store.commit t;
+  (* now stored as v2 *)
+  let t2 = Object_store.begin_ os2 in
+  let p2 = Object_store.deref (Object_store.open_readonly t2 v2_cls oid) in
+  Alcotest.(check string) "v2 roundtrip" "premium" p2.plan;
+  Object_store.abort t2;
+  (* restore the original class for other tests *)
+  Obj_class.undefine "test.profile";
+  ignore (Obj_class.define ~name:"test.profile"
+    ~pickle:(fun w (p : profile) -> Tdb_pickle.Pickle.list w (fun w o -> Tdb_pickle.Pickle.uint w o) p.meters)
+    ~unpickle:(fun ~version:_ r -> ({ meters = Tdb_pickle.Pickle.read_list r Tdb_pickle.Pickle.read_uint } : profile))
+    () : profile Obj_class.t)
+
+let qcheck_random_objects =
+  QCheck.Test.make ~name:"random object workload matches model" ~count:10
+    QCheck.(list_of_size Gen.(1 -- 8) (small_list (pair (int_range 0 8) small_int)))
+    (fun batches ->
+      let os = fresh (fresh_env ()) in
+      let key_to_oid = Hashtbl.create 8 in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun batch ->
+          let t = Object_store.begin_ os in
+          List.iter
+            (fun (k, v) ->
+              (match Hashtbl.find_opt key_to_oid k with
+              | None ->
+                  let oid = Object_store.insert t meter_cls { view_count = v; print_count = 0; good = "q" } in
+                  Hashtbl.replace key_to_oid k oid
+              | Some oid ->
+                  let m = Object_store.deref (Object_store.open_writable t meter_cls oid) in
+                  m.view_count <- v);
+              Hashtbl.replace model k v)
+            batch;
+          Object_store.commit t)
+        batches;
+      let t = Object_store.begin_ os in
+      let ok =
+        Hashtbl.fold
+          (fun k v acc ->
+            let oid = Hashtbl.find key_to_oid k in
+            let m = Object_store.deref (Object_store.open_readonly t meter_cls oid) in
+            acc && m.view_count = v)
+          model true
+      in
+      Object_store.abort t;
+      ok)
+
+let () =
+  Alcotest.run "tdb_objstore"
+    [
+      ( "typed-storage",
+        [
+          Alcotest.test_case "insert/open" `Quick test_insert_open;
+          Alcotest.test_case "type mismatch" `Quick test_type_mismatch;
+          Alcotest.test_case "stale refs" `Quick test_stale_ref;
+          Alcotest.test_case "figure 4 scenario" `Quick test_paper_figure4;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "update" `Quick test_update_via_writable;
+          Alcotest.test_case "abort rolls back" `Quick test_abort_rolls_back;
+          Alcotest.test_case "abort insert" `Quick test_abort_insert_gone;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "remove aborted" `Quick test_remove_rolled_back_by_abort;
+          Alcotest.test_case "crash recovery" `Quick test_crash_recovery_objects;
+          Alcotest.test_case "schema evolution" `Quick test_schema_evolution;
+        ] );
+      ( "roots",
+        [
+          Alcotest.test_case "set/get/clear" `Quick test_roots;
+          Alcotest.test_case "aborted update" `Quick test_root_update_aborted;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "serializable increments" `Slow test_concurrent_increments;
+          Alcotest.test_case "deadlock timeout" `Slow test_deadlock_broken_by_timeout;
+          Alcotest.test_case "shared reads" `Quick test_shared_locks_concurrent_reads;
+          Alcotest.test_case "writer blocks reader" `Quick test_writer_blocks_reader;
+          Alcotest.test_case "locking disabled" `Quick test_locking_disabled;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "eviction + reload" `Quick test_cache_eviction_and_reload;
+          Alcotest.test_case "hits avoid I/O" `Quick test_cache_hit_no_io;
+        ] );
+      ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_random_objects ]);
+    ]

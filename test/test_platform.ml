@@ -1,0 +1,215 @@
+(* Platform substrate tests: untrusted store semantics (including crash and
+   tamper injection), one-way counter monotonicity and torn-write safety,
+   secret store derivation, archival store. *)
+
+open Tdb_platform
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "tdbtest" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)))) (fun () -> f dir)
+
+(* --- untrusted store (mem) --- *)
+
+let test_mem_rw () =
+  let _h, s = Untrusted_store.open_mem () in
+  Untrusted_store.write s ~off:0 "hello";
+  Untrusted_store.write s ~off:5 " world";
+  Alcotest.(check string) "read" "hello world" (Bytes.to_string (Untrusted_store.read s ~off:0 ~len:11));
+  Alcotest.(check int) "size" 11 (Untrusted_store.size s);
+  Untrusted_store.write s ~off:100 "far";
+  Alcotest.(check int) "sparse grows" 103 (Untrusted_store.size s);
+  (* hole reads as zeros *)
+  Alcotest.(check string) "hole" (String.make 3 '\000') (Bytes.to_string (Untrusted_store.read s ~off:50 ~len:3))
+
+let test_mem_bounds () =
+  let _h, s = Untrusted_store.open_mem () in
+  Untrusted_store.write s ~off:0 "abc";
+  Alcotest.(check bool) "oob read raises" true
+    (match Untrusted_store.read s ~off:0 ~len:4 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_mem_crash_loses_unsynced () =
+  let h, s = Untrusted_store.open_mem () in
+  Untrusted_store.write s ~off:0 "stable!!";
+  Untrusted_store.sync s;
+  Untrusted_store.write s ~off:0 "volatile";
+  Untrusted_store.Mem.crash_hard h;
+  Alcotest.(check string) "reverted" "stable!!" (Bytes.to_string (Untrusted_store.read s ~off:0 ~len:8))
+
+let test_mem_crash_partial_persistence () =
+  (* with persist_prob 1.0 every unsynced write survives *)
+  let h, s = Untrusted_store.open_mem () in
+  Untrusted_store.write s ~off:0 "aaaa";
+  Untrusted_store.sync s;
+  Untrusted_store.write s ~off:0 "bbbb";
+  Untrusted_store.Mem.crash ~persist_prob:1.0 ~rng:(fun _ -> 0) h;
+  Alcotest.(check string) "all survive" "bbbb" (Bytes.to_string (Untrusted_store.read s ~off:0 ~len:4))
+
+let test_mem_tamper_and_snapshot () =
+  let h, s = Untrusted_store.open_mem () in
+  Untrusted_store.write s ~off:0 "sensitive-data";
+  Untrusted_store.sync s;
+  let img = Untrusted_store.Mem.snapshot h in
+  Untrusted_store.Mem.corrupt h ~off:0 ~len:1 ~mask:0xff;
+  Alcotest.(check bool) "corrupted" true (Bytes.to_string (Untrusted_store.read s ~off:0 ~len:14) <> "sensitive-data");
+  Untrusted_store.Mem.restore h img;
+  Alcotest.(check string) "replayed" "sensitive-data" (Bytes.to_string (Untrusted_store.read s ~off:0 ~len:14))
+
+let test_mem_stats () =
+  let _h, s = Untrusted_store.open_mem () in
+  Untrusted_store.write s ~off:0 "12345";
+  ignore (Untrusted_store.read s ~off:0 ~len:2);
+  Untrusted_store.sync s;
+  let st = Untrusted_store.stats s in
+  Alcotest.(check int) "writes" 1 st.Untrusted_store.writes;
+  Alcotest.(check int) "bytes written" 5 st.Untrusted_store.bytes_written;
+  Alcotest.(check int) "bytes read" 2 st.Untrusted_store.bytes_read;
+  Alcotest.(check int) "syncs" 1 st.Untrusted_store.syncs
+
+(* --- untrusted store (file) --- *)
+
+let test_file_store () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "db" in
+      let s = Untrusted_store.open_file path in
+      Untrusted_store.write s ~off:0 "persist me";
+      Untrusted_store.sync s;
+      Untrusted_store.close s;
+      let s2 = Untrusted_store.open_file path in
+      Alcotest.(check string) "reopen" "persist me" (Bytes.to_string (Untrusted_store.read s2 ~off:0 ~len:10));
+      Untrusted_store.set_size s2 4;
+      Alcotest.(check int) "truncate" 4 (Untrusted_store.size s2);
+      Untrusted_store.set_size s2 8;
+      Alcotest.(check string) "extend zeros" "pers\000\000\000\000"
+        (Bytes.to_string (Untrusted_store.read s2 ~off:0 ~len:8));
+      Untrusted_store.close s2)
+
+(* --- one-way counter --- *)
+
+let test_counter_mem () =
+  let _h, c = One_way_counter.open_mem () in
+  Alcotest.(check int64) "initial" 0L (One_way_counter.read c);
+  Alcotest.(check int64) "inc" 1L (One_way_counter.increment c);
+  Alcotest.(check int64) "inc" 2L (One_way_counter.increment c);
+  Alcotest.(check int64) "read" 2L (One_way_counter.read c)
+
+let test_counter_file_persistence () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "ctr" in
+      let c = One_way_counter.open_file path in
+      for _ = 1 to 5 do
+        ignore (One_way_counter.increment c)
+      done;
+      let c2 = One_way_counter.open_file path in
+      Alcotest.(check int64) "survives reopen" 5L (One_way_counter.read c2))
+
+let test_counter_file_torn_write () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "ctr" in
+      let c = One_way_counter.open_file path in
+      ignore (One_way_counter.increment c);
+      ignore (One_way_counter.increment c);
+      (* corrupt the slot that would be written next (slot 0 holds an older
+         value now); counter must still report the max valid slot *)
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let slot_len = String.length contents / 2 in
+      let broken = String.make slot_len 'X' ^ String.sub contents slot_len slot_len in
+      let oc = open_out_gen [ Open_wronly; Open_binary ] 0o600 path in
+      output_string oc broken;
+      close_out oc;
+      let c2 = One_way_counter.open_file path in
+      Alcotest.(check bool) "still >= 1" true (One_way_counter.read c2 >= 1L))
+
+let test_counter_monotonic_qcheck =
+  QCheck.Test.make ~name:"counter strictly monotonic" ~count:50
+    QCheck.(int_range 1 100)
+    (fun n ->
+      let _h, c = One_way_counter.open_mem () in
+      let vals = List.init n (fun _ -> One_way_counter.increment c) in
+      let rec increasing = function a :: (b :: _ as r) -> a < b && increasing r | _ -> true in
+      increasing vals)
+
+(* --- secret store --- *)
+
+let test_secret_derivation () =
+  let s = Secret_store.of_seed "device-42" in
+  let k1 = Secret_store.derive s "chunk-encryption" in
+  let k2 = Secret_store.derive s "anchor-mac" in
+  Alcotest.(check int) "32 bytes" 32 (String.length k1);
+  Alcotest.(check bool) "purpose-bound" true (k1 <> k2);
+  let s' = Secret_store.of_seed "device-42" in
+  Alcotest.(check bool) "deterministic" true (Secret_store.derive s' "chunk-encryption" = k1);
+  let s2 = Secret_store.of_seed "device-43" in
+  Alcotest.(check bool) "device-bound" true (Secret_store.derive s2 "chunk-encryption" <> k1);
+  Alcotest.(check int) "derive_len" 48 (String.length (Secret_store.derive_len s "cipher" 48))
+
+let test_secret_file () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "rom" in
+      let s = Secret_store.of_file path in
+      let s2 = Secret_store.of_file path in
+      Alcotest.(check bool) "stable across opens" true
+        (Secret_store.derive s "x" = Secret_store.derive s2 "x"))
+
+let test_secret_zeroize () =
+  let s = Secret_store.of_seed "z" in
+  let z = Secret_store.zeroize s in
+  Alcotest.(check bool) "keys gone" true (Secret_store.derive z "x" <> Secret_store.derive s "x")
+
+(* --- archival store --- *)
+
+let test_archive_mem () =
+  let h, a = Archival_store.open_mem () in
+  Archival_store.put a ~name:"full-1" "data1";
+  Archival_store.put a ~name:"incr-2" "data2";
+  Alcotest.(check (list string)) "list" [ "full-1"; "incr-2" ] (Archival_store.list a);
+  Alcotest.(check (option string)) "get" (Some "data1") (Archival_store.get a ~name:"full-1");
+  Archival_store.Mem.corrupt h ~name:"full-1" ~pos:0 ~mask:1;
+  Alcotest.(check bool) "corrupted" true (Archival_store.get a ~name:"full-1" <> Some "data1");
+  Archival_store.delete a ~name:"full-1";
+  Alcotest.(check (option string)) "deleted" None (Archival_store.get a ~name:"full-1")
+
+let test_archive_dir () =
+  with_tmpdir (fun dir ->
+      let a = Archival_store.open_dir (Filename.concat dir "arch") in
+      Archival_store.put a ~name:"b1" "payload";
+      Alcotest.(check (option string)) "roundtrip" (Some "payload") (Archival_store.get a ~name:"b1");
+      Alcotest.(check (option string)) "missing" None (Archival_store.get a ~name:"nope");
+      Alcotest.(check bool) "bad name rejected" true
+        (match Archival_store.put a ~name:"../evil" "x" with exception Invalid_argument _ -> true | _ -> false))
+
+let () =
+  Alcotest.run "tdb_platform"
+    [
+      ( "untrusted-mem",
+        [
+          Alcotest.test_case "read/write" `Quick test_mem_rw;
+          Alcotest.test_case "bounds" `Quick test_mem_bounds;
+          Alcotest.test_case "crash loses unsynced" `Quick test_mem_crash_loses_unsynced;
+          Alcotest.test_case "crash partial persistence" `Quick test_mem_crash_partial_persistence;
+          Alcotest.test_case "tamper + replay" `Quick test_mem_tamper_and_snapshot;
+          Alcotest.test_case "stats" `Quick test_mem_stats;
+        ] );
+      ("untrusted-file", [ Alcotest.test_case "file roundtrip" `Quick test_file_store ]);
+      ( "one-way-counter",
+        [
+          Alcotest.test_case "mem" `Quick test_counter_mem;
+          Alcotest.test_case "file persistence" `Quick test_counter_file_persistence;
+          Alcotest.test_case "torn write" `Quick test_counter_file_torn_write;
+          QCheck_alcotest.to_alcotest test_counter_monotonic_qcheck;
+        ] );
+      ( "secret-store",
+        [
+          Alcotest.test_case "derivation" `Quick test_secret_derivation;
+          Alcotest.test_case "file" `Quick test_secret_file;
+          Alcotest.test_case "zeroize" `Quick test_secret_zeroize;
+        ] );
+      ( "archival-store",
+        [
+          Alcotest.test_case "mem" `Quick test_archive_mem;
+          Alcotest.test_case "dir" `Quick test_archive_dir;
+        ] );
+    ]

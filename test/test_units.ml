@@ -1,0 +1,673 @@
+(* Direct unit tests for internal modules that the integration suites only
+   exercise indirectly: location map, log, anchor, security context, cache,
+   lock manager, index structures, disk model, workload encodings. *)
+
+open Tdb_platform
+open Tdb_chunk
+
+let test_cfg =
+  { Config.default with Config.segment_size = 4096; initial_segments = 8; anchor_slot_size = 2048;
+    checkpoint_every = 1000; checkpoint_residual_bytes = 4 * 4096; clean_batch = 2 }
+
+let sec_on () = Security.create test_cfg (Secret_store.of_seed "units")
+let sec_off () = Security.create { test_cfg with Config.security = false } (Secret_store.of_seed "units")
+
+(* ------------------------------------------------------------------ *)
+(* Security context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_security_seal_roundtrip () =
+  let sec = sec_on () in
+  let plain = "the plaintext" in
+  let sealed = Security.seal sec plain in
+  Alcotest.(check bool) "actually encrypted" true (sealed <> plain);
+  Alcotest.(check string) "roundtrip" plain (Security.unseal sec sealed);
+  (* two seals of the same plaintext differ (fresh IVs) *)
+  Alcotest.(check bool) "iv freshness" true (Security.seal sec plain <> sealed)
+
+let test_security_label_and_mac () =
+  let sec = sec_on () in
+  let l = Security.label sec "data" in
+  Alcotest.(check int) "sha1 label" 20 (String.length l);
+  Security.check_label sec ~expected:l "data" ~what:"x";
+  Alcotest.(check bool) "bad label raises" true
+    (match Security.check_label sec ~expected:l "datb" ~what:"x" with
+    | exception Types.Tamper_detected _ -> true
+    | () -> false);
+  Alcotest.(check bool) "mac verifies" true (Security.check_mac sec ~expected:(Security.mac sec "m") "m" ~what:"x");
+  Alcotest.(check bool) "mac rejects" false (Security.check_mac sec ~expected:(Security.mac sec "m") "n" ~what:"x")
+
+let test_security_disabled_is_transparent () =
+  let sec = sec_off () in
+  Alcotest.(check string) "no encryption" "abc" (Security.seal sec "abc");
+  Alcotest.(check string) "no label" "" (Security.label sec "abc");
+  Security.check_label sec ~expected:"" "anything" ~what:"x";
+  Alcotest.(check int) "no seal overhead" 0 (Security.seal_overhead sec 100)
+
+(* ------------------------------------------------------------------ *)
+(* Location map                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* a fake store for map nodes: payloads held in a table, entries index it *)
+let fake_fetch (tbl : (int, string) Hashtbl.t) : Location_map.fetch =
+ fun ~what:_ (e : Types.entry) -> Hashtbl.find tbl e.Types.off
+
+let fake_writer (tbl : (int, string) Hashtbl.t) =
+  let next = ref 0 in
+  fun payload ->
+    incr next;
+    Hashtbl.replace tbl !next payload;
+    { Types.seg = 0; off = !next; len = String.length payload; hash = ""; version = 0 }
+
+let entry_for i = { Types.seg = 1; off = 1000 + i; len = 10; hash = ""; version = i }
+
+let test_map_set_find_remove () =
+  let tbl = Hashtbl.create 16 in
+  let fetch = fake_fetch tbl in
+  let m = Location_map.create ~fanout:4 ~depth:3 (* 64 ids *) in
+  Alcotest.(check bool) "empty" true (Location_map.find m fetch 5 = None);
+  for i = 0 to 63 do
+    ignore (Location_map.set m fetch i (entry_for i))
+  done;
+  for i = 0 to 63 do
+    match Location_map.find m fetch i with
+    | Some e -> Alcotest.(check int) "found" i e.Types.version
+    | None -> Alcotest.failf "missing %d" i
+  done;
+  let old, _ = Location_map.remove m fetch 7 in
+  Alcotest.(check bool) "removed returns old" true (old <> None);
+  Alcotest.(check bool) "gone" true (Location_map.find m fetch 7 = None);
+  Alcotest.(check bool) "id out of range" true
+    (match Location_map.find m fetch 64 with exception Invalid_argument _ -> true | _ -> false)
+
+let test_map_checkpoint_and_reload () =
+  let tbl = Hashtbl.create 16 in
+  let fetch = fake_fetch tbl in
+  let write_node = fake_writer tbl in
+  let m = Location_map.create ~fanout:4 ~depth:3 in
+  for i = 0 to 20 do
+    ignore (Location_map.set m fetch i (entry_for i))
+  done;
+  let root = Location_map.checkpoint m ~write_node ~obsolete:(fun _ -> ()) in
+  Alcotest.(check bool) "root written" true (root <> None);
+  Alcotest.(check bool) "clean root exposed" true (Location_map.root_entry m <> None);
+  (* reload the tree fresh from the fake store *)
+  let m2 = Location_map.create ~fanout:4 ~depth:3 in
+  let root_e = Option.get root in
+  let root_node = Location_map.node_of_payload ~fanout:4 (fetch ~what:"r" root_e) in
+  root_node.Location_map.disk <- Some root_e;
+  m2.Location_map.root <- root_node;
+  for i = 0 to 20 do
+    match Location_map.find m2 fetch i with
+    | Some e -> Alcotest.(check int) "reloaded" i e.Types.version
+    | None -> Alcotest.failf "missing %d after reload" i
+  done;
+  (* incremental checkpoint: only dirty paths are rewritten *)
+  let writes = ref 0 in
+  let counting_writer payload =
+    incr writes;
+    write_node payload
+  in
+  ignore (Location_map.set m fetch 3 (entry_for 99));
+  ignore (Location_map.checkpoint m ~write_node:counting_writer ~obsolete:(fun _ -> ()));
+  Alcotest.(check bool) "only the dirty path rewritten" true (!writes <= 3)
+
+let test_map_count_dirty () =
+  let tbl = Hashtbl.create 16 in
+  let fetch = fake_fetch tbl in
+  let m = Location_map.create ~fanout:4 ~depth:3 in
+  Alcotest.(check int) "fresh root is dirty" 1 (Location_map.count_dirty m);
+  ignore (Location_map.set m fetch 0 (entry_for 0));
+  Alcotest.(check bool) "dirty path counted" true (Location_map.count_dirty m >= 2);
+  ignore (Location_map.checkpoint m ~write_node:(fake_writer tbl) ~obsolete:(fun _ -> ()));
+  Alcotest.(check int) "clean after checkpoint" 0 (Location_map.count_dirty m)
+
+let test_map_diff_trees () =
+  let tbl = Hashtbl.create 16 in
+  let fetch = fake_fetch tbl in
+  let write_node = fake_writer tbl in
+  let m = Location_map.create ~fanout:4 ~depth:3 in
+  for i = 0 to 10 do
+    ignore (Location_map.set m fetch i (entry_for i))
+  done;
+  let r1 = Location_map.checkpoint m ~write_node ~obsolete:(fun _ -> ()) in
+  ignore (Location_map.set m fetch 3 (entry_for 333));
+  ignore (Location_map.remove m fetch 9);
+  ignore (Location_map.set m fetch 40 (entry_for 40));
+  let r2 = Location_map.checkpoint m ~write_node ~obsolete:(fun _ -> ()) in
+  let changed = ref [] and removed = ref [] in
+  Location_map.diff_trees ~fanout:4 fetch ~old_root:r1 ~new_root:r2
+    ~changed:(fun cid e -> changed := (cid, e.Types.version) :: !changed)
+    ~removed:(fun cid -> removed := cid :: !removed);
+  Alcotest.(check (list (pair int int))) "changed" [ (3, 333); (40, 40) ] (List.sort compare !changed);
+  Alcotest.(check (list int)) "removed" [ 9 ] !removed
+
+(* ------------------------------------------------------------------ *)
+(* Log                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_append_and_scan () =
+  let _, store = Untrusted_store.open_mem () in
+  let log = Log.create store test_cfg in
+  let recs = List.init 20 (fun i -> String.make (50 + (i * 13 mod 200)) (Char.chr (65 + i))) in
+  let positions = List.map (fun r -> Log.append log Types.Data_chunk r) recs in
+  (* read back by position *)
+  List.iter2
+    (fun r (seg, off) ->
+      Alcotest.(check string) "payload" r
+        (Log.read_payload log { Types.seg; off; len = String.length r; hash = ""; version = 0 }))
+    recs positions;
+  (* segment scan parses the same records *)
+  let scanned = Log.scan_segment log 0 in
+  Alcotest.(check bool) "scan found records" true (List.length scanned > 0);
+  List.iteri
+    (fun i (kind, _, payload) ->
+      Alcotest.(check bool) "kind" true (kind = Types.Data_chunk);
+      Alcotest.(check string) "scan payload" (List.nth recs i) payload)
+    scanned
+
+let test_log_segment_chaining () =
+  let _, store = Untrusted_store.open_mem () in
+  let log = Log.create store test_cfg in
+  (* write more than one segment's worth *)
+  let big = String.make 1000 'x' in
+  let n = 12 (* 12 KB > 1 segment *) in
+  for _ = 1 to n do
+    ignore (Log.append log Types.Data_chunk big)
+  done;
+  (* chain scan from the start sees all data records *)
+  let count = ref 0 in
+  Log.scan_chain log ~seg:0 ~off:0 ~f:(fun kind _ _ -> if kind = Types.Data_chunk then incr count);
+  Alcotest.(check int) "all records via chain" n !count
+
+let test_log_usage_and_barrier () =
+  let _, store = Untrusted_store.open_mem () in
+  let log = Log.create store test_cfg in
+  let payload = String.make 500 'x' in
+  let entries =
+    List.init 14 (fun _ ->
+        let seg, off = Log.append log Types.Data_chunk payload in
+        { Types.seg; off; len = 500; hash = ""; version = 0 })
+  in
+  Alcotest.(check int) "usage counts everything" (14 * Log.record_space 500) (Log.live_bytes log);
+  (* obsolete all the records that landed in segment 0 *)
+  let seg0, rest = List.partition (fun e -> e.Types.seg = 0) entries in
+  Alcotest.(check bool) "multiple segments used" true (rest <> []);
+  List.iter (Log.obsolete_entry log) seg0;
+  Log.end_checkpoint log;
+  (* the emptied segment is no longer a cleaning candidate, and the live
+     accounting matches the surviving records exactly *)
+  Alcotest.(check bool) "segment 0 not a candidate" true (not (List.mem 0 (Log.clean_candidates log)));
+  Alcotest.(check int) "usage tracks live" (List.length rest * Log.record_space 500) (Log.live_bytes log)
+
+let test_log_pinning () =
+  let _, store = Untrusted_store.open_mem () in
+  let log = Log.create store test_cfg in
+  Log.pin log 3;
+  Log.pin log 3;
+  Alcotest.(check bool) "pinned" true (Log.is_pinned log 3);
+  Log.unpin log 3;
+  Alcotest.(check bool) "still pinned" true (Log.is_pinned log 3);
+  Log.unpin log 3;
+  Alcotest.(check bool) "unpinned" false (Log.is_pinned log 3);
+  Alcotest.(check bool) "overunpin rejected" true
+    (match Log.unpin log 3 with exception Invalid_argument _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Anchor                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let anchor_payload epoch =
+  {
+    Anchor.epoch;
+    segment_size = test_cfg.Config.segment_size;
+    map_fanout = test_cfg.Config.map_fanout;
+    map_depth = test_cfg.Config.map_depth;
+    seq = 42;
+    root = Some { Types.seg = 1; off = 2; len = 3; hash = "h"; version = 4 };
+    tail_seg = 5;
+    tail_off = 6;
+    counter = 7L;
+    next_id = 8;
+    chain = "chainvalue";
+    snapshots = [ (1, Some { Types.seg = 9; off = 10; len = 11; hash = "s"; version = 12 }, 13) ];
+  }
+
+let test_anchor_roundtrip_and_epoch () =
+  let sec = sec_on () in
+  let _, store = Untrusted_store.open_mem () in
+  Untrusted_store.set_size store (2 * 2048);
+  Anchor.write sec store ~slot_size:2048 (anchor_payload 1);
+  Anchor.write sec store ~slot_size:2048 (anchor_payload 2);
+  (match Anchor.read sec store ~slot_size:2048 with
+  | Some p ->
+      Alcotest.(check int) "newest epoch wins" 2 p.Anchor.epoch;
+      Alcotest.(check int) "payload intact" 42 p.Anchor.seq;
+      Alcotest.(check int64) "counter" 7L p.Anchor.counter
+  | None -> Alcotest.fail "no anchor");
+  (* torn write of the newest slot: the older one still loads *)
+  Untrusted_store.write store ~off:0 (String.make 64 '\xff');
+  (match Anchor.read sec store ~slot_size:2048 with
+  | Some p -> Alcotest.(check int) "fallback to valid slot" 1 (p.Anchor.epoch land 1)
+  | None -> Alcotest.fail "anchor lost after single-slot corruption")
+
+let test_anchor_wrong_key_rejected () =
+  let sec = sec_on () in
+  let _, store = Untrusted_store.open_mem () in
+  Untrusted_store.set_size store (2 * 2048);
+  Anchor.write sec store ~slot_size:2048 (anchor_payload 1);
+  let other = Security.create test_cfg (Secret_store.of_seed "attacker") in
+  Alcotest.(check bool) "foreign key sees no anchor" true (Anchor.read other store ~slot_size:2048 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type blob = { v : int }
+
+let blob_cls : blob Tdb_objstore.Obj_class.t =
+  Tdb_objstore.Obj_class.define ~name:"units.blob"
+    ~pickle:(fun w b -> Tdb_pickle.Pickle.int w b.v)
+    ~unpickle:(fun ~version:_ r -> { v = Tdb_pickle.Pickle.read_int r })
+    ()
+
+let dummy_value i = Tdb_objstore.Obj_class.Value (blob_cls, { v = i })
+
+let test_cache_lru_eviction () =
+  let open Tdb_objstore in
+  let c = Cache.create ~budget:1000 in
+  for i = 0 to 9 do
+    ignore (Cache.put c i (dummy_value i) ~size:200)
+  done;
+  (* only ~5 fit; the oldest were evicted *)
+  Alcotest.(check bool) "bounded" true (Cache.resident c <= 5);
+  Alcotest.(check bool) "newest present" true (Cache.find c 9 <> None);
+  Alcotest.(check bool) "oldest evicted" true (Cache.find c 0 = None)
+
+let test_cache_pin_blocks_eviction () =
+  let open Tdb_objstore in
+  let c = Cache.create ~budget:400 in
+  let e0 = Cache.put c 0 (dummy_value 0) ~size:200 in
+  Cache.pin e0;
+  for i = 1 to 9 do
+    ignore (Cache.put c i (dummy_value i) ~size:200)
+  done;
+  Alcotest.(check bool) "pinned survives" true (Cache.find c 0 <> None);
+  Cache.unpin c e0;
+  for i = 10 to 14 do
+    ignore (Cache.put c i (dummy_value i) ~size:200)
+  done;
+  Alcotest.(check bool) "evictable once unpinned" true (Cache.find c 0 = None)
+
+let test_cache_touch_refreshes () =
+  let open Tdb_objstore in
+  let c = Cache.create ~budget:600 in
+  for i = 0 to 2 do
+    ignore (Cache.put c i (dummy_value i) ~size:200)
+  done;
+  ignore (Cache.find c 0);
+  (* 0 is now MRU *)
+  ignore (Cache.put c 3 (dummy_value 3) ~size:200);
+  Alcotest.(check bool) "refreshed entry kept" true (Cache.find c 0 <> None);
+  Alcotest.(check bool) "true LRU evicted" true (Cache.find c 1 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Lock manager                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_locks_shared_compatible () =
+  let open Tdb_objstore in
+  let lm = Lock_manager.create () in
+  let mu = Mutex.create () in
+  Mutex.lock mu;
+  Lock_manager.acquire lm ~mu ~txn:1 ~oid:7 ~mode:Lock_manager.Shared ~timeout:0.05;
+  Lock_manager.acquire lm ~mu ~txn:2 ~oid:7 ~mode:Lock_manager.Shared ~timeout:0.05;
+  Alcotest.(check bool) "both shared" true (Lock_manager.mode_of lm ~txn:2 ~oid:7 = Some Lock_manager.Shared);
+  (* exclusive blocked while the other holder exists *)
+  Alcotest.(check bool) "upgrade blocked" true
+    (match Lock_manager.acquire lm ~mu ~txn:1 ~oid:7 ~mode:Lock_manager.Exclusive ~timeout:0.05 with
+    | exception Lock_manager.Lock_timeout _ -> true
+    | () -> false);
+  Lock_manager.release_all lm ~txn:2;
+  (* now the upgrade succeeds *)
+  Lock_manager.acquire lm ~mu ~txn:1 ~oid:7 ~mode:Lock_manager.Exclusive ~timeout:0.05;
+  Alcotest.(check bool) "upgraded" true (Lock_manager.mode_of lm ~txn:1 ~oid:7 = Some Lock_manager.Exclusive);
+  Lock_manager.release_all lm ~txn:1;
+  Alcotest.(check int) "table empty" 0 (Lock_manager.held_count lm);
+  Mutex.unlock mu
+
+let test_locks_reentrant () =
+  let open Tdb_objstore in
+  let lm = Lock_manager.create () in
+  let mu = Mutex.create () in
+  Mutex.lock mu;
+  Lock_manager.acquire lm ~mu ~txn:1 ~oid:1 ~mode:Lock_manager.Exclusive ~timeout:0.05;
+  Lock_manager.acquire lm ~mu ~txn:1 ~oid:1 ~mode:Lock_manager.Exclusive ~timeout:0.05;
+  Lock_manager.acquire lm ~mu ~txn:1 ~oid:1 ~mode:Lock_manager.Shared ~timeout:0.05;
+  Alcotest.(check bool) "still exclusive" true (Lock_manager.mode_of lm ~txn:1 ~oid:1 = Some Lock_manager.Exclusive);
+  Mutex.unlock mu
+
+(* ------------------------------------------------------------------ *)
+(* Index structures (directly, over an object store)                   *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_os () =
+  let _, store = Untrusted_store.open_mem () in
+  let _, ctr = One_way_counter.open_mem () in
+  Tdb_objstore.Object_store.of_chunk_store
+    (Chunk_store.create ~config:test_cfg ~secret:(Secret_store.of_seed "ix") ~counter:ctr store)
+
+let test_btree_index_ordering () =
+  let open Tdb_collection in
+  let os = fresh_os () in
+  let x = Tdb_objstore.Object_store.begin_ os in
+  let anchor = Index.create_anchor x Indexer.Btree in
+  let ops = Index.ops_of ~index_name:"t" ~unique:false ~impl:Indexer.Btree Gkey.int in
+  (* insert shuffled keys, some duplicated *)
+  let n = 200 in
+  for i = 0 to n - 1 do
+    let k = i * 37 mod n in
+    Index.insert x ops anchor ~key:(Gkey.to_bytes Gkey.int k) ~oid:(1000 + i)
+  done;
+  Alcotest.(check int) "count" n (Index.count x anchor);
+  let all = Index.scan x ops anchor in
+  Alcotest.(check int) "scan count" n (List.length all);
+  (* range [50,59] *)
+  let r =
+    Index.range x ops anchor ~min:(Some (Gkey.to_bytes Gkey.int 50)) ~max:(Some (Gkey.to_bytes Gkey.int 59))
+  in
+  Alcotest.(check int) "range" 10 (List.length r);
+  (* delete one (key, oid) pair and re-check *)
+  let victim_oid = List.hd (Index.exact x ops anchor ~key:(Gkey.to_bytes Gkey.int 55)) in
+  Index.delete x ops anchor ~key:(Gkey.to_bytes Gkey.int 55) ~oid:victim_oid;
+  Alcotest.(check int) "one fewer" (n - 1) (Index.count x anchor);
+  Alcotest.(check bool) "specific pair gone" true
+    (not (List.mem victim_oid (Index.exact x ops anchor ~key:(Gkey.to_bytes Gkey.int 55))));
+  Tdb_objstore.Object_store.commit x
+
+let test_hash_index_growth () =
+  let open Tdb_collection in
+  let os = fresh_os () in
+  let x = Tdb_objstore.Object_store.begin_ os in
+  let anchor = Index.create_anchor x Indexer.Hash in
+  let ops = Index.ops_of ~index_name:"h" ~unique:true ~impl:Indexer.Hash Gkey.int in
+  let n = 500 (* forces many bucket splits and directory-segment growth *) in
+  for i = 0 to n - 1 do
+    Index.insert x ops anchor ~key:(Gkey.to_bytes Gkey.int i) ~oid:(5000 + i)
+  done;
+  for i = 0 to n - 1 do
+    Alcotest.(check (list int)) "exact" [ 5000 + i ] (Index.exact x ops anchor ~key:(Gkey.to_bytes Gkey.int i))
+  done;
+  Alcotest.(check bool) "dup rejected" true
+    (match Index.insert x ops anchor ~key:(Gkey.to_bytes Gkey.int 3) ~oid:9 with
+    | exception Index.Duplicate_key _ -> true
+    | () -> false);
+  Alcotest.(check int) "scan" n (List.length (Index.scan x ops anchor));
+  Tdb_objstore.Object_store.commit x
+
+let test_list_index_order_preserved () =
+  let open Tdb_collection in
+  let os = fresh_os () in
+  let x = Tdb_objstore.Object_store.begin_ os in
+  let anchor = Index.create_anchor x Indexer.List in
+  let ops = Index.ops_of ~index_name:"l" ~unique:false ~impl:Indexer.List Gkey.int in
+  for i = 0 to 199 do
+    Index.insert x ops anchor ~key:(Gkey.to_bytes Gkey.int i) ~oid:(100 + i)
+  done;
+  let all = Index.scan x ops anchor in
+  Alcotest.(check int) "count" 200 (List.length all);
+  Alcotest.(check (list int)) "insertion order" (List.init 200 (fun i -> 100 + i)) all;
+  Tdb_objstore.Object_store.commit x
+
+(* ------------------------------------------------------------------ *)
+(* Sim disk & workload                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sim_disk_charges () =
+  let open Tdb_tpcb in
+  let clock = Sim_disk.clock () in
+  let m = Sim_disk.paper_platform in
+  let _, raw = Untrusted_store.open_mem () in
+  let s = Sim_disk.wrap_store m clock raw in
+  Untrusted_store.write s ~off:0 (String.make 100 'x');
+  let after_first = clock.Sim_disk.elapsed in
+  Alcotest.(check bool) "first write pays positioning" true (after_first >= m.Sim_disk.position_s);
+  Untrusted_store.write s ~off:100 (String.make 100 'x');
+  Alcotest.(check bool) "sequential write is cheap" true
+    (clock.Sim_disk.elapsed -. after_first < m.Sim_disk.position_s /. 2.);
+  let before_sync = clock.Sim_disk.elapsed in
+  Untrusted_store.sync s;
+  Alcotest.(check bool) "sync with pending pays force" true
+    (clock.Sim_disk.elapsed -. before_sync >= m.Sim_disk.force_s);
+  let before = clock.Sim_disk.elapsed in
+  Untrusted_store.sync s;
+  Alcotest.(check bool) "idle sync free" true (clock.Sim_disk.elapsed = before)
+
+let test_workload_flat_roundtrip () =
+  let open Tdb_tpcb in
+  let r = Workload.make_record ~id:77 ~balance:(-12345) in
+  let flat = Workload.flat_of_record r in
+  Alcotest.(check int) "100 bytes" Workload.record_size (String.length flat);
+  let r' = Workload.record_of_flat flat in
+  Alcotest.(check int) "id" 77 r'.Workload.id;
+  Alcotest.(check int) "negative balance" (-12345) r'.Workload.balance
+
+let test_workload_record_pickled_size () =
+  let open Tdb_tpcb in
+  let w = Tdb_pickle.Pickle.writer () in
+  Workload.pickle_record w (Workload.make_record ~id:1 ~balance:0);
+  Alcotest.(check int) "pickled record is 100 bytes" Workload.record_size
+    (Tdb_pickle.Pickle.writer_length w)
+
+let test_workload_txn_gen_in_bounds () =
+  let open Tdb_tpcb in
+  let rng = Tdb_crypto.Drbg.create ~seed:"wl" in
+  let s = Workload.default_scale in
+  for _ = 1 to 500 do
+    let t = Workload.gen_txn rng s in
+    assert (t.Workload.account >= 0 && t.Workload.account < s.Workload.accounts);
+    assert (t.Workload.teller >= 0 && t.Workload.teller < s.Workload.tellers);
+    assert (t.Workload.branch >= 0 && t.Workload.branch < s.Workload.branches);
+    assert (abs t.Workload.delta <= 999_999)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Baseline page serialization                                          *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_page_roundtrip =
+  QCheck.Test.make ~name:"page node roundtrip" ~count:100
+    QCheck.(
+      pair bool (small_list (pair (string_of_size Gen.(1 -- 20)) (string_of_size Gen.(0 -- 60)))))
+    (fun (leaf, items) ->
+      let open Tdb_baseline in
+      let node =
+        if leaf then Page.Leaf { items = List.sort compare items; next = 7 }
+        else
+          Page.Internal
+            { keys = List.map fst items; kids = List.init (List.length items + 1) (fun i -> i + 1) }
+      in
+      QCheck.assume (Page.estimate node <= Page.content_budget);
+      let s = Page.serialize node in
+      String.length s = Page.page_size
+      &&
+      match (node, Page.deserialize s) with
+      | Page.Leaf { items = i1; next = n1 }, Page.Leaf { items = i2; next = n2 } -> i1 = i2 && n1 = n2
+      | Page.Internal { keys = k1; kids = c1 }, Page.Internal { keys = k2; kids = c2 } -> k1 = k2 && c1 = c2
+      | _ -> false)
+
+let qcheck_pickle_array =
+  QCheck.Test.make ~name:"pickle array roundtrip" ~count:100
+    QCheck.(array small_int)
+    (fun a ->
+      let w = Tdb_pickle.Pickle.writer () in
+      Tdb_pickle.Pickle.array w Tdb_pickle.Pickle.int a;
+      let r = Tdb_pickle.Pickle.reader (Tdb_pickle.Pickle.contents w) in
+      let l = Tdb_pickle.Pickle.read_list r Tdb_pickle.Pickle.read_int in
+      Tdb_pickle.Pickle.at_end r && l = Array.to_list a)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrency torture: threads over collections with locking on       *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_collection_torture () =
+  let _, store = Untrusted_store.open_mem () in
+  let _, ctr = One_way_counter.open_mem () in
+  let os =
+    Tdb_objstore.Object_store.of_chunk_store
+      ~config:{ Tdb_objstore.Object_store.default_config with Tdb_objstore.Object_store.lock_timeout = 0.2 }
+      (Chunk_store.create ~config:test_cfg ~secret:(Secret_store.of_seed "torture") ~counter:ctr store)
+  in
+  let open Tdb_collection in
+  let ix = Indexer.make ~name:"id" ~key:Gkey.int ~extract:(fun (b : blob) -> b.v mod 100) ~impl:Indexer.Btree () in
+  Cstore.with_ctxn os (fun ct ->
+      let c = Cstore.create_collection ct ~name:"torture" ~schema:blob_cls ix in
+      for i = 0 to 19 do
+        ignore (Cstore.insert ct c { v = i })
+      done);
+  let errors = ref 0 and emu = Mutex.create () in
+  let worker tid =
+    for _ = 1 to 25 do
+      let rec attempt retries =
+        if retries > 0 then
+          match
+            Cstore.with_ctxn ~durable:false os (fun ct ->
+                let c = Cstore.open_collection ct ~name:"torture" ~schema:blob_cls ~indexers:[ Indexer.Generic ix ] in
+                ignore (Cstore.insert ct c { v = (tid * 1000) + retries + 100 }))
+          with
+          | () -> ()
+          | exception Tdb_objstore.Lock_manager.Lock_timeout _ -> attempt (retries - 1)
+      in
+      attempt 20
+    done
+  in
+  let threads = List.init 4 (fun tid -> Thread.create worker tid) in
+  List.iter Thread.join threads;
+  ignore (Mutex.try_lock emu);
+  Alcotest.(check int) "no unexpected errors" 0 !errors;
+  (* everything readable and the index consistent *)
+  Cstore.with_ctxn os (fun ct ->
+      let c = Cstore.open_collection ct ~name:"torture" ~schema:blob_cls ~indexers:[ Indexer.Generic ix ] in
+      let it = Cstore.scan ct c ix in
+      let n = ref 0 in
+      while not (Cstore.at_end it) do
+        ignore (Cstore.read it);
+        incr n;
+        Cstore.advance it
+      done;
+      Cstore.close it;
+      Alcotest.(check int) "all inserts present" (20 + (4 * 25)) !n;
+      Alcotest.(check int) "size agrees" !n (Cstore.size ct c))
+
+(* ------------------------------------------------------------------ *)
+(* QCheck model tests for the index structures                         *)
+(* ------------------------------------------------------------------ *)
+
+let index_model_test impl name =
+  QCheck.Test.make ~name ~count:20
+    QCheck.(list (triple (int_range 0 40) (int_range 0 5) bool))
+    (fun ops ->
+      let open Tdb_collection in
+      let os = fresh_os () in
+      let x = Tdb_objstore.Object_store.begin_ os in
+      let anchor = Index.create_anchor x impl in
+      let iops = Index.ops_of ~index_name:"m" ~unique:false ~impl Gkey.int in
+      (* model: multiset of (key, oid) pairs *)
+      let model : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (k, salt, is_insert) ->
+          let oid = (k * 10) + salt in
+          let kb = Gkey.to_bytes Gkey.int k in
+          if is_insert then begin
+            if not (Hashtbl.mem model (k, oid)) then begin
+              Index.insert x iops anchor ~key:kb ~oid;
+              Hashtbl.replace model (k, oid) ()
+            end
+          end
+          else if Hashtbl.mem model (k, oid) then begin
+            Index.delete x iops anchor ~key:kb ~oid;
+            Hashtbl.remove model (k, oid)
+          end)
+        ops;
+      (* exact queries agree with the model for every key *)
+      let ok = ref (Index.count x anchor = Hashtbl.length model) in
+      for k = 0 to 40 do
+        let expect =
+          Hashtbl.fold (fun (k', o) () acc -> if k' = k then o :: acc else acc) model []
+          |> List.sort compare
+        in
+        let got = Index.exact x iops anchor ~key:(Gkey.to_bytes Gkey.int k) |> List.sort compare in
+        if expect <> got then ok := false
+      done;
+      (* scan covers exactly the model *)
+      let scanned = Index.scan x iops anchor |> List.sort compare in
+      let all = Hashtbl.fold (fun (_, o) () acc -> o :: acc) model [] |> List.sort compare in
+      Tdb_objstore.Object_store.commit x;
+      !ok && scanned = all)
+
+let qcheck_btree_model = index_model_test Tdb_collection.Indexer.Btree "btree matches model"
+let qcheck_hash_model = index_model_test Tdb_collection.Indexer.Hash "hash matches model"
+let qcheck_list_model = index_model_test Tdb_collection.Indexer.List "list matches model"
+
+let () =
+  Alcotest.run "tdb_units"
+    [
+      ( "security",
+        [
+          Alcotest.test_case "seal roundtrip" `Quick test_security_seal_roundtrip;
+          Alcotest.test_case "label + mac" `Quick test_security_label_and_mac;
+          Alcotest.test_case "disabled transparent" `Quick test_security_disabled_is_transparent;
+        ] );
+      ( "location-map",
+        [
+          Alcotest.test_case "set/find/remove" `Quick test_map_set_find_remove;
+          Alcotest.test_case "checkpoint + reload" `Quick test_map_checkpoint_and_reload;
+          Alcotest.test_case "count dirty" `Quick test_map_count_dirty;
+          Alcotest.test_case "diff trees" `Quick test_map_diff_trees;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "append/scan" `Quick test_log_append_and_scan;
+          Alcotest.test_case "segment chaining" `Quick test_log_segment_chaining;
+          Alcotest.test_case "usage + barrier" `Quick test_log_usage_and_barrier;
+          Alcotest.test_case "pinning" `Quick test_log_pinning;
+        ] );
+      ( "anchor",
+        [
+          Alcotest.test_case "roundtrip + epochs" `Quick test_anchor_roundtrip_and_epoch;
+          Alcotest.test_case "wrong key" `Quick test_anchor_wrong_key_rejected;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "pinning" `Quick test_cache_pin_blocks_eviction;
+          Alcotest.test_case "touch refreshes" `Quick test_cache_touch_refreshes;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "shared/exclusive" `Quick test_locks_shared_compatible;
+          Alcotest.test_case "reentrant" `Quick test_locks_reentrant;
+        ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "btree ordering" `Quick test_btree_index_ordering;
+          Alcotest.test_case "hash growth" `Quick test_hash_index_growth;
+          Alcotest.test_case "list order" `Quick test_list_index_order_preserved;
+        ] );
+      ( "baseline-page",
+        [
+          QCheck_alcotest.to_alcotest qcheck_page_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_pickle_array;
+        ] );
+      ( "torture",
+        [ Alcotest.test_case "threads over collections" `Slow test_concurrent_collection_torture ] );
+      ( "index-models",
+        List.map QCheck_alcotest.to_alcotest [ qcheck_btree_model; qcheck_hash_model; qcheck_list_model ] );
+      ( "tpcb-support",
+        [
+          Alcotest.test_case "sim disk charges" `Quick test_sim_disk_charges;
+          Alcotest.test_case "flat record roundtrip" `Quick test_workload_flat_roundtrip;
+          Alcotest.test_case "pickled record size" `Quick test_workload_record_pickled_size;
+          Alcotest.test_case "txn gen bounds" `Quick test_workload_txn_gen_in_bounds;
+        ] );
+    ]
