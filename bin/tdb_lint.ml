@@ -1,0 +1,56 @@
+(** tdb_lint — static analysis over TDB's own sources, enforcing the
+    trust invariants the paper's security argument depends on.
+
+    Usage: [tdb_lint [--root DIR] [--allow FILE] [DIR ...]]
+
+    Lints every [.ml] under the given directories (default [lib]),
+    prints violations as [file:line: [RULE] message], and exits nonzero
+    if any survive the allowlist — or if the allowlist itself has stale
+    entries. Run it via [dune build @lint]. *)
+
+module Engine = Tdb_lint_engine.Engine
+module Allowlist = Tdb_lint_engine.Allowlist
+module Driver = Tdb_lint_engine.Driver
+
+let usage = "usage: tdb_lint [--root DIR] [--allow FILE] [DIR ...]"
+
+let () =
+  let root = ref "." in
+  let allow = ref "" in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repository root the lint paths are relative to (default .)");
+      ("--allow", Arg.Set_string allow, "FILE allowlist of file:line:RULE suppressions");
+    ]
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  let dirs = match List.rev !dirs with [] -> [ "lib" ] | ds -> ds in
+  match
+    let report = Driver.scan ~root:!root dirs in
+    let entries = if String.equal !allow "" then [] else Allowlist.load !allow in
+    (report, entries)
+  with
+  | exception Failure msg ->
+      Printf.eprintf "tdb_lint: %s\n" msg;
+      exit 2
+  | exception Sys_error msg ->
+      Printf.eprintf "tdb_lint: %s\n" msg;
+      exit 2
+  | { Driver.files_checked; violations }, entries ->
+      let kept, stale = Allowlist.filter entries violations in
+      List.iter
+        (fun v ->
+          Printf.printf "%s:%d: [%s] %s\n" v.Engine.v_file v.Engine.v_line
+            (Engine.rule_id v.Engine.v_rule) v.Engine.v_msg)
+        kept;
+      List.iter
+        (fun (e : Allowlist.entry) ->
+          Printf.eprintf "tdb_lint: stale allowlist entry at %s: %s:%d:%s matches nothing\n"
+            e.Allowlist.a_source e.Allowlist.a_file e.Allowlist.a_line (Engine.rule_id e.Allowlist.a_rule))
+        stale;
+      Printf.eprintf "tdb_lint: %d file(s), %d violation(s), %d allowlisted, %d stale allow entr(ies)\n"
+        files_checked (List.length kept)
+        (List.length violations - List.length kept)
+        (List.length stale);
+      (match (kept, stale) with [], [] -> exit 0 | _ -> exit 1)

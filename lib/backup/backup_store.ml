@@ -153,7 +153,7 @@ let unframe_with ~(cipher : Tdb_crypto.Cbc.cipher) ~(mac_key : string) (stream :
   let n = String.length stream in
   let mac_len = Tdb_crypto.Sha256.digest_size in
   if n < 4 + mac_len then invalid "backup stream truncated";
-  if String.sub stream 0 4 <> magic then invalid "bad backup magic";
+  if not (String.equal (String.sub stream 0 4) magic) then invalid "bad backup magic";
   let body_part = String.sub stream 0 (n - mac_len) in
   let mac = String.sub stream (n - mac_len) mac_len in
   if not (Tdb_crypto.Ct.equal_string mac (Tdb_crypto.Hmac.sha256 ~key:mac_key body_part)) then
@@ -181,7 +181,7 @@ let backup_full t : int =
   let snap = Chunk_store.snapshot t.cs in
   let changed =
     Chunk_store.fold_snapshot t.cs snap ~init:[] ~f:(fun acc cid data ->
-        if cid = state_cid then acc else (cid, data) :: acc)
+        if Int.equal cid state_cid then acc else (cid, data) :: acc)
   in
   let id = st.last_id + 1 in
   let header = { id; kind = Full; seq = Chunk_store.snapshot_seq t.cs snap } in
@@ -202,8 +202,8 @@ let backup_incremental t : int =
       let snap = Chunk_store.snapshot t.cs in
       let changed = ref [] and removed = ref [] in
       Chunk_store.diff_snapshots t.cs ~old_id:base ~new_id:snap
-        ~changed:(fun cid data -> if cid <> state_cid then changed := (cid, data) :: !changed)
-        ~removed:(fun cid -> if cid <> state_cid then removed := cid :: !removed);
+        ~changed:(fun cid data -> if not (Int.equal cid state_cid) then changed := (cid, data) :: !changed)
+        ~removed:(fun cid -> if not (Int.equal cid state_cid) then removed := cid :: !removed);
       let id = st.last_id + 1 in
       let header = { id; kind = Incremental st.last_id; seq = Chunk_store.snapshot_seq t.cs snap } in
       let body = encode_body ~changed:(List.rev !changed) ~removed:(List.rev !removed) in
@@ -233,7 +233,7 @@ let scan_archive ~(secret : Tdb_platform.Secret_store.t) (archive : Tdb_platform
              match unframe_with ~cipher ~mac_key stream with
              | parsed -> Some (parsed.p_header, parsed)
              | exception Invalid_backup _ -> None ))
-  |> List.sort (fun (a, _) (b, _) -> compare a.id b.id)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a.id b.id)
 
 (** Validated restore into a *fresh* chunk store: applies the newest full
     backup with id <= [upto] (default: newest overall) followed by its
@@ -267,7 +267,11 @@ let restore ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Arc
     if last_id >= limit then applied
     else
       match
-        List.find_opt (fun (h, _) -> h.id = last_id + 1 && h.kind = Incremental last_id) backups
+        List.find_opt
+          (fun (h, _) ->
+            h.id = last_id + 1
+            && match h.kind with Incremental base -> Int.equal base last_id | Full -> false)
+          backups
       with
       | None ->
           if List.exists (fun (h, _) -> h.id > last_id && h.id <= limit) backups then

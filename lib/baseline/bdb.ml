@@ -47,7 +47,7 @@ let apply_op (t : t) (op : Wal.op) : unit =
             f.Pager.page_id
       in
       let root' = Btree.insert t.pager ~root key value in
-      if root' <> root then Pager.set_table_root t.pager table root'
+      if not (Int.equal root' root) then Pager.set_table_root t.pager table root'
   | Wal.Del { table; key; _ } -> (
       match Pager.table_root t.pager table with None -> () | Some root -> Btree.delete t.pager root key )
 

@@ -1,8 +1,17 @@
 (** B+tree over the pager: the baseline's one-index-per-table access method
     (Berkeley DB's data model supports a single index per collection with
-    immutable keys — paper Sections 7.1 and 8). *)
+    immutable keys — paper Sections 7.1 and 8).
+
+    Keys are compared with [String.compare] explicitly: node layout on disk
+    depends on key order, so the ordering must stay monomorphic and stable
+    (lint rule R1). *)
 
 open Page
+
+let malformed what = failwith ("Btree: malformed node: " ^ what)
+
+let nth_kid kids slot =
+  match List.nth_opt kids slot with Some kid -> kid | None -> malformed "kid slot out of range"
 
 let rec search (pager : Pager.t) (page_id : int) (key : string) : string option =
   match (Pager.get pager page_id).Pager.node with
@@ -11,15 +20,15 @@ let rec search (pager : Pager.t) (page_id : int) (key : string) : string option 
       let rec pick keys kids =
         match (keys, kids) with
         | [], [ kid ] -> kid
-        | k :: krest, kid :: kidrest -> if key < k then kid else pick krest kidrest
-        | _ -> failwith "Btree: malformed internal node"
+        | k :: krest, kid :: kidrest -> if String.compare key k < 0 then kid else pick krest kidrest
+        | _ -> malformed "keys/kids arity"
       in
       search pager (pick n.keys n.kids) key
 
 (* split helpers *)
 let split_at l n =
   let rec go acc i = function
-    | rest when i = n -> (List.rev acc, rest)
+    | rest when Int.equal i n -> (List.rev acc, rest)
     | [] -> (List.rev acc, [])
     | x :: rest -> go (x :: acc) (i + 1) rest
   in
@@ -33,8 +42,9 @@ let rec insert_rec pager page_id key value : (string * int) option =
       let rec place = function
         | [] -> [ (key, value) ]
         | (k, v) :: rest ->
-            if key = k then (key, value) :: rest
-            else if key < k then (key, value) :: (k, v) :: rest
+            let c = String.compare key k in
+            if Int.equal c 0 then (key, value) :: rest
+            else if c < 0 then (key, value) :: (k, v) :: rest
             else (k, v) :: place rest
       in
       l.items <- place l.items;
@@ -43,17 +53,22 @@ let rec insert_rec pager page_id key value : (string * int) option =
       else begin
         let at = List.length l.items / 2 in
         let left, right = split_at l.items at in
-        let rf = Pager.alloc pager (Leaf { items = right; next = l.next }) in
-        l.items <- left;
-        l.next <- rf.Pager.page_id;
-        Some (fst (List.hd right), rf.Pager.page_id)
+        match right with
+        | [] -> malformed "split produced empty right leaf"
+        | (sep, _) :: _ ->
+            let rf = Pager.alloc pager (Leaf { items = right; next = l.next }) in
+            l.items <- left;
+            l.next <- rf.Pager.page_id;
+            Some (sep, rf.Pager.page_id)
       end
   | Internal n ->
       let rec pick i keys =
-        match keys with [] -> i | k :: rest -> if key < k then i else pick (i + 1) rest
+        match keys with
+        | [] -> i
+        | k :: rest -> if String.compare key k < 0 then i else pick (i + 1) rest
       in
       let slot = pick 0 n.keys in
-      let child = List.nth n.kids slot in
+      let child = nth_kid n.kids slot in
       (match insert_rec pager child key value with
       | None -> None
       | Some (sep, right) ->
@@ -66,12 +81,14 @@ let rec insert_rec pager page_id key value : (string * int) option =
           else begin
             let at = List.length n.keys / 2 in
             let lk, rest = split_at n.keys at in
-            let sep', rk = (List.hd rest, List.tl rest) in
-            let lkid, rkid = split_at n.kids (at + 1) in
-            let rf = Pager.alloc pager (Internal { keys = rk; kids = rkid }) in
-            n.keys <- lk;
-            n.kids <- lkid;
-            Some (sep', rf.Pager.page_id)
+            match rest with
+            | [] -> malformed "split produced empty separator list"
+            | sep' :: rk ->
+                let lkid, rkid = split_at n.kids (at + 1) in
+                let rf = Pager.alloc pager (Internal { keys = rk; kids = rkid }) in
+                n.keys <- lk;
+                n.kids <- lkid;
+                Some (sep', rf.Pager.page_id)
           end)
 
 (** Insert into the tree rooted at [root]; returns the (possibly new) root
@@ -95,8 +112,8 @@ let rec delete pager (page_id : int) (key : string) : unit =
       let rec pick keys kids =
         match (keys, kids) with
         | [], [ kid ] -> kid
-        | k :: krest, kid :: kidrest -> if key < k then kid else pick krest kidrest
-        | _ -> failwith "Btree: malformed internal node"
+        | k :: krest, kid :: kidrest -> if String.compare key k < 0 then kid else pick krest kidrest
+        | _ -> malformed "keys/kids arity"
       in
       delete pager (pick n.keys n.kids) key
 
@@ -112,25 +129,26 @@ let fold pager ~(root : int) ?(min : string option) ?(max : string option) ~(ini
           match (keys, kids) with
           | [], [ kid ] -> kid
           | k :: krest, kid :: kidrest -> (
-              match min with Some m when m >= k -> pick krest kidrest | _ -> kid)
-          | _ -> failwith "Btree: malformed internal node"
+              match min with
+              | Some m when String.compare m k >= 0 -> pick krest kidrest
+              | _ -> kid)
+          | _ -> malformed "keys/kids arity"
         in
         seek (pick n.keys n.kids)
   in
-  let acc = ref init and leaf = ref (Some (seek root)) in
-  (try
-     while !leaf <> None do
-       match (Pager.get pager (Option.get !leaf)).Pager.node with
-       | Internal _ -> failwith "Btree: leaf chain reached internal node"
-       | Leaf l ->
-           List.iter
-             (fun (k, v) ->
-               let below = match min with Some m -> k < m | None -> false in
-               let above = match max with Some m -> k > m | None -> false in
-               if above then raise Exit;
-               if not below then acc := f !acc k v)
-             l.items;
-           leaf := (if l.next = 0 then None else Some l.next)
-     done
-   with Exit -> ());
+  let acc = ref init in
+  let rec walk page_id =
+    match (Pager.get pager page_id).Pager.node with
+    | Internal _ -> malformed "leaf chain reached internal node"
+    | Leaf l ->
+        List.iter
+          (fun (k, v) ->
+            let below = match min with Some m -> String.compare k m < 0 | None -> false in
+            let above = match max with Some m -> String.compare k m > 0 | None -> false in
+            if above then raise Exit;
+            if not below then acc := f !acc k v)
+          l.items;
+        if l.next <> 0 then walk l.next
+  in
+  (try walk (seek root) with Exit -> ());
   !acc

@@ -41,7 +41,7 @@ let encode_meta (t : t) : string =
 let decode_meta (s : string) : int * (string * int) list =
   let module P = Tdb_pickle.Pickle in
   let r = P.reader s in
-  if P.read_string r <> "BDBM" then failwith "Pager: bad meta page";
+  if not (String.equal (P.read_string r) "BDBM") then failwith "Pager: bad meta page";
   let next_page = P.read_uint r in
   let tables =
     P.read_list r (fun r ->
@@ -84,7 +84,7 @@ let write_page t (f : frame) =
 let evict_clean t =
   if Hashtbl.length t.frames > t.capacity then begin
     let all = Hashtbl.fold (fun _ f acc -> f :: acc) t.frames [] in
-    let sorted = List.sort (fun a b -> compare a.lru_tick b.lru_tick) all in
+    let sorted = List.sort (fun a b -> Int.compare a.lru_tick b.lru_tick) all in
     let excess = Hashtbl.length t.frames - t.capacity in
     List.iteri
       (fun i f ->

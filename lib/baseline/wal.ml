@@ -74,7 +74,7 @@ let append t ~(durable : bool) (ops : op list) : unit =
     Bytes.set hdr 2 (Char.chr ((len lsr 16) land 0xff));
     Bytes.set hdr 3 (Char.chr ((len lsr 8) land 0xff));
     Bytes.set hdr 4 (Char.chr (len land 0xff));
-    Bytes.unsafe_to_string hdr ^ body ^ checksum body
+    Bytes.to_string hdr ^ body ^ checksum body
   in
   Tdb_platform.Untrusted_store.write t.store ~off:t.tail framed;
   t.tail <- t.tail + String.length framed;
@@ -90,7 +90,7 @@ let replay t ~(f : op list -> unit) : unit =
     if !pos + 5 > size then stop := true
     else begin
       let hdr = Bytes.to_string (Tdb_platform.Untrusted_store.read t.store ~off:!pos ~len:5) in
-      if hdr.[0] <> magic then stop := true
+      if not (Char.equal hdr.[0] magic) then stop := true
       else begin
         let len =
           (Char.code hdr.[1] lsl 24) lor (Char.code hdr.[2] lsl 16) lor (Char.code hdr.[3] lsl 8)
@@ -100,7 +100,7 @@ let replay t ~(f : op list -> unit) : unit =
         else begin
           let body = Bytes.to_string (Tdb_platform.Untrusted_store.read t.store ~off:(!pos + 5) ~len) in
           let sum = Bytes.to_string (Tdb_platform.Untrusted_store.read t.store ~off:(!pos + 5 + len) ~len:8) in
-          if sum <> checksum body then stop := true
+          if not (String.equal sum (checksum body)) then stop := true
           else begin
             (match decode_ops body with ops -> f ops | exception _ -> stop := true);
             if not !stop then pos := !pos + 5 + len + 8

@@ -98,7 +98,7 @@ let read_slot (sec : Security.t) (store : Tdb_platform.Untrusted_store.t) ~(slot
   if size < off + 8 then None
   else begin
     let header = Bytes.to_string (Tdb_platform.Untrusted_store.read store ~off ~len:8) in
-    if String.sub header 0 4 <> magic then None
+    if not (String.equal (String.sub header 0 4) magic) then None
     else begin
       let blen =
         (Char.code header.[4] lsl 24) lor (Char.code header.[5] lsl 16) lor (Char.code header.[6] lsl 8)

@@ -257,12 +257,13 @@ let clean_pass ?(max_segments = max_int) ?candidates t : unit =
                 | Commit | Next_segment -> ()
                 | Data_chunk -> (
                     match
-                      (try Some (parse_data_payload (Security.unseal t.sec sealed)) with _ -> None)
+                      (try Some (parse_data_payload (Security.unseal t.sec sealed))
+                       with Tamper_detected _ | Tdb_pickle.Pickle.Error _ -> None)
                     with
                     | None -> () (* stale garbage that no longer decrypts cleanly *)
                     | Some (cid, _version, _data) -> (
                         match Location_map.find t.map (fetch t) cid with
-                        | Some e when e.seg = seg && e.off = poff ->
+                        | Some e when Int.equal e.seg seg && Int.equal e.off poff ->
                             (* live: relocate ciphertext verbatim *)
                             let nseg, noff = append_rec t Data_chunk sealed in
                             let e' = { e with seg = nseg; off = noff } in
@@ -275,7 +276,7 @@ let clean_pass ?(max_segments = max_int) ?candidates t : unit =
                 | Map_node -> (
                     match
                       (try Some (Location_map.node_of_payload ~fanout:t.cfg.Config.map_fanout (Security.unseal t.sec sealed))
-                       with _ -> None)
+                       with Tamper_detected _ | Tdb_pickle.Pickle.Error _ -> None)
                     with
                     | None -> ()
                     | Some parsed -> (
@@ -285,7 +286,7 @@ let clean_pass ?(max_segments = max_int) ?candidates t : unit =
                         match Location_map.find_node t.map (fetch t) ~level:parsed.Location_map.level ~base:parsed.Location_map.base with
                         | Some live_node -> (
                             match live_node.Location_map.disk with
-                            | Some e when e.seg = seg && e.off = poff ->
+                            | Some e when Int.equal e.seg seg && Int.equal e.off poff ->
                                 live_node.Location_map.disk <- None;
                                 Log.obsolete_entry t.log e
                             | _ -> () )
@@ -402,8 +403,8 @@ let read t (cid : chunk_id) : string =
       | None -> raise (Not_written cid)
       | Some e ->
           let plain = fetch t ~what:(Printf.sprintf "chunk %d" cid) e in
-          let cid', version, data = try parse_data_payload plain with _ -> tamper "malformed chunk %d" cid in
-          if cid' <> cid || version <> e.version then tamper "chunk %d identity mismatch" cid;
+          let cid', version, data = try parse_data_payload plain with Tdb_pickle.Pickle.Error _ -> tamper "malformed chunk %d" cid in
+          if (not (Int.equal cid' cid)) || not (Int.equal version e.version) then tamper "chunk %d identity mismatch" cid;
           data )
 
 let deallocate t (cid : chunk_id) : unit =
@@ -490,7 +491,7 @@ let commit ?(durable = true) t : unit =
       Tdb_platform.Untrusted_store.sync t.store;
       if t.sec.Security.enabled then begin
         let hw = Tdb_platform.One_way_counter.increment t.counter in
-        if hw <> t.last_counter then
+        if not (Int64.equal hw t.last_counter) then
           tamper "one-way counter advanced externally (%Ld, expected %Ld)" hw t.last_counter
       end;
       Log.barrier t.log;
@@ -557,8 +558,8 @@ let snapshot_seq t id = (find_snapshot t id).snap_seq
 
 let read_in_snapshot t (e : entry) : chunk_id * string =
   let plain = fetch t ~what:"snapshot chunk" e in
-  let cid, version, data = try parse_data_payload plain with _ -> tamper "malformed snapshot chunk" in
-  if version <> e.version then tamper "snapshot chunk version mismatch";
+  let cid, version, data = try parse_data_payload plain with Tdb_pickle.Pickle.Error _ -> tamper "malformed snapshot chunk" in
+  if not (Int.equal version e.version) then tamper "snapshot chunk version mismatch";
   (cid, data)
 
 (** Fold over every chunk in a snapshot (full-backup substrate). *)
@@ -571,7 +572,7 @@ let fold_snapshot t (id : int) ~(init : 'a) ~(f : 'a -> chunk_id -> string -> 'a
       Location_map.walk_tree ~fanout:t.cfg.Config.map_fanout (fetch t) ~root
         ~data:(fun cid e ->
           let cid', data = read_in_snapshot t e in
-          if cid' <> cid then tamper "snapshot chunk id mismatch";
+          if not (Int.equal cid' cid) then tamper "snapshot chunk id mismatch";
           acc := f !acc cid data)
         ~node:(fun _ -> ());
       !acc
@@ -586,7 +587,7 @@ let diff_snapshots t ~(old_id : int) ~(new_id : int) ~(changed : chunk_id -> str
     ~new_root:new_s.snap_root
     ~changed:(fun cid e ->
       let cid', data = read_in_snapshot t e in
-      if cid' <> cid then tamper "snapshot chunk id mismatch";
+      if not (Int.equal cid' cid) then tamper "snapshot chunk id mismatch";
       changed cid data)
     ~removed
 
@@ -647,9 +648,9 @@ let open_existing ?(config = Config.default) ~(secret : Tdb_platform.Secret_stor
   (* the layout parameters the database was written with must match the
      configuration it is opened with *)
   if
-    anchor.Anchor.segment_size <> config.Config.segment_size
-    || anchor.Anchor.map_fanout <> config.Config.map_fanout
-    || anchor.Anchor.map_depth <> config.Config.map_depth
+    (not (Int.equal anchor.Anchor.segment_size config.Config.segment_size))
+    || (not (Int.equal anchor.Anchor.map_fanout config.Config.map_fanout))
+    || not (Int.equal anchor.Anchor.map_depth config.Config.map_depth)
   then
     raise
       (Recovery_failed
@@ -700,7 +701,7 @@ let open_existing ?(config = Config.default) ~(secret : Tdb_platform.Secret_stor
                 if not (Tdb_crypto.Ct.equal_string link (Security.mac t.sec (!chain ^ encoded))) then None
                 else
                   let body = decode_commit_body encoded in
-                  if body.c_seq <> !expected_seq then None else Some (body, link))
+                  if not (Int.equal body.c_seq !expected_seq) then None else Some (body, link))
              with
              | exception _ -> raise Exit
              | None -> raise Exit
@@ -764,9 +765,9 @@ let open_existing ?(config = Config.default) ~(secret : Tdb_platform.Secret_stor
      commits happened on a state that was later replayed). *)
   if t.sec.Security.enabled then begin
     let hw = Tdb_platform.One_way_counter.read counter in
-    if Int64.add hw 1L = t.last_counter then
+    if Int64.equal (Int64.add hw 1L) t.last_counter then
       ignore (Tdb_platform.One_way_counter.increment counter)
-    else if hw <> t.last_counter then
+    else if not (Int64.equal hw t.last_counter) then
       tamper "one-way counter mismatch (counter=%Ld, database=%Ld): %s" hw t.last_counter
         (if hw > t.last_counter then "replay of stale state detected" else "counter rollback detected")
   end;

@@ -158,7 +158,7 @@ let rec descend t fetch (n : node) ~create_path (cid : chunk_id) : node option =
     necessary; used by the cleaner to test map-node liveness. *)
 let find_node t (fetch : fetch) ~(level : int) ~(base : int) : node option =
   let rec go (n : node) =
-    if n.level = level then if n.base = base then Some n else None
+    if Int.equal n.level level then if Int.equal n.base base then Some n else None
     else if n.level < level then None
     else
       match load_child t fetch n (slot_of t base n.level) with
@@ -248,7 +248,13 @@ let checkpoint t ~(write_node : string -> entry) ~(obsolete : entry -> unit) : e
               | None ->
                   n.kids.(i) <- None;
                   child_changed := true);
-              if child.disk <> before then child_changed := true
+              let moved =
+                match (child.disk, before) with
+                | None, None -> false
+                | Some a, Some b -> not (entry_equal a b)
+                | None, Some _ | Some _, None -> true
+              in
+              if moved then child_changed := true
           | _ -> ())
         n.kids;
     let is_empty = Array.for_all (fun k -> k = None) n.kids in
@@ -351,7 +357,7 @@ let diff_trees ~fanout (fetch : fetch) ~(old_root : entry option) ~(new_root : e
         if entries_equal oe ne then ()
         else begin
           let on = load oe and nn = load ne in
-          if on.level <> nn.level || on.base <> nn.base then tamper "diff: incompatible map nodes";
+          if (not (Int.equal on.level nn.level)) || not (Int.equal on.base nn.base) then tamper "diff: incompatible map nodes";
           for i = 0 to fanout - 1 do
             match (on.kids.(i), nn.kids.(i)) with
             | None, None -> ()

@@ -113,7 +113,7 @@ let of_recovery (store : Tdb_platform.Untrusted_store.t) (cfg : Config.t) ~(tail
 let barrier t =
   let free = ref [] in
   for seg = 0 to t.nsegments - 1 do
-    if seg <> t.tail_seg && usage_of t seg = 0 && not (is_pinned t seg) && not (Hashtbl.mem t.residual seg)
+    if (not (Int.equal seg t.tail_seg)) && usage_of t seg = 0 && not (is_pinned t seg) && not (Hashtbl.mem t.residual seg)
     then free := seg :: !free
   done;
   t.free <- List.rev !free;
@@ -125,9 +125,9 @@ let barrier t =
     if
       t.nsegments > t.cfg.Config.initial_segments
       && free_count t > reserve
-      && (match List.rev t.free with l :: _ -> l = last | [] -> false)
+      && (match List.rev t.free with l :: _ -> Int.equal l last | [] -> false)
     then begin
-      t.free <- List.filter (fun s -> s <> last) t.free;
+      t.free <- List.filter (fun s -> not (Int.equal s last)) t.free;
       t.nsegments <- t.nsegments - 1;
       shrink ()
     end
@@ -166,7 +166,7 @@ let write_header t ~(off : int) (kind : record_kind) (len : int) =
   Bytes.set h 3 (Char.chr ((len lsr 16) land 0xff));
   Bytes.set h 4 (Char.chr ((len lsr 8) land 0xff));
   Bytes.set h 5 (Char.chr (len land 0xff));
-  Tdb_platform.Untrusted_store.write t.store ~off (Bytes.unsafe_to_string h)
+  Tdb_platform.Untrusted_store.write t.store ~off (Bytes.to_string h)
 
 (** How many bytes of log space an [n]-byte payload consumes. *)
 let record_space n = header_size + n
@@ -199,7 +199,7 @@ let append ?(live = true) t (kind : record_kind) (sealed : string) : int * int =
         write_header t ~off:(seg_start t t.tail_seg + t.tail_off) Next_segment 4;
         Tdb_platform.Untrusted_store.write t.store
           ~off:(seg_start t t.tail_seg + t.tail_off + header_size)
-          (Bytes.unsafe_to_string m);
+          (Bytes.to_string m);
         Hashtbl.replace t.residual t.tail_seg ();
         t.tail_seg <- next;
         t.tail_off <- 0
@@ -228,7 +228,7 @@ let parse_record t ~(seg : int) ~(off : int) : (record_kind * int * string) opti
     if abs + header_size > Tdb_platform.Untrusted_store.size t.store then None
     else begin
       let h = Bytes.to_string (Tdb_platform.Untrusted_store.read t.store ~off:abs ~len:header_size) in
-      if h.[0] <> magic_byte then None
+      if not (Char.equal h.[0] magic_byte) then None
       else
         match kind_of_byte (Char.code h.[1]) with
         | exception Invalid_argument _ -> None
@@ -260,7 +260,7 @@ let scan_segment t (seg : int) : (record_kind * int * string) list =
     let acc = ref [] and off = ref 0 and stop = ref false in
     while not !stop do
       if !off + header_size > avail then stop := true
-      else if img.[!off] <> magic_byte then stop := true
+      else if not (Char.equal img.[!off] magic_byte) then stop := true
       else
         match kind_of_byte (Char.code img.[!off + 1]) with
         | exception Invalid_argument _ -> stop := true
@@ -309,7 +309,11 @@ let clean_candidates t : int list =
   let all = ref [] in
   for seg = 0 to t.nsegments - 1 do
     let u = usage_of t seg in
-    if seg <> t.tail_seg && u > 0 && (not (is_pinned t seg)) && not (Hashtbl.mem t.residual seg) then
+    if (not (Int.equal seg t.tail_seg)) && u > 0 && (not (is_pinned t seg)) && not (Hashtbl.mem t.residual seg) then
       all := (u, seg) :: !all
   done;
-  List.map snd (List.sort compare !all)
+  List.map snd
+    (List.sort
+       (fun (u1, s1) (u2, s2) ->
+         match Int.compare u1 u2 with 0 -> Int.compare s1 s2 | c -> c)
+       !all)

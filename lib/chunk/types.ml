@@ -16,7 +16,9 @@ type entry = { seg : int; off : int; len : int; hash : string; version : int }
 let pp_entry ppf e =
   Format.fprintf ppf "{seg=%d; off=%d; len=%d; ver=%d}" e.seg e.off e.len e.version
 
-let entry_equal a b = a.seg = b.seg && a.off = b.off && a.len = b.len && a.version = b.version && String.equal a.hash b.hash
+let entry_equal a b =
+  Int.equal a.seg b.seg && Int.equal a.off b.off && Int.equal a.len b.len
+  && Int.equal a.version b.version && String.equal a.hash b.hash
 
 (** Chunk ids [0, reserved_ids) are never handed out by [allocate]; upper
     layers claim them as well-known roots (0: backup-store state, 1:

@@ -91,7 +91,7 @@ let begin_ (os : Object_store.t) : t = { txn = Object_store.begin_ os; iters = [
     iterator insensitivity — don't. *)
 let txn (ct : t) : Object_store.txn = ct.txn
 
-let open_iters_on ct coll_oid = List.filter (fun it -> it.it_open && it.it_coll = coll_oid) ct.iters
+let open_iters_on ct coll_oid = List.filter (fun it -> it.it_open && Int.equal it.it_coll coll_oid) ct.iters
 
 (* ------------------------------------------------------------------ *)
 (* Collection handles                                                  *)
@@ -107,9 +107,15 @@ let meta_ro ct (c : 'a collection) : coll_obj = Object_store.deref (Object_store
 let meta_rw ct (c : 'a collection) : coll_obj = Object_store.deref (Object_store.open_writable ct.txn coll_cls c.coll_oid)
 
 let find_meta (m : coll_obj) (name : string) : index_meta =
-  match List.find_opt (fun im -> im.im_name = name) m.co_indexes with
+  match List.find_opt (fun im -> String.equal im.im_name name) m.co_indexes with
   | Some im -> im
   | None -> raise (Unknown_index name)
+
+(** Every collection keeps at least one index (the [Last_index] guard on
+    [drop_index] preserves the invariant); the first one is used to
+    enumerate members. *)
+let first_index (m : coll_obj) : index_meta =
+  match m.co_indexes with im :: _ -> im | [] -> invalid_arg "collection has no indexes"
 
 let generic_of (c : 'a collection) (name : string) : 'a Indexer.generic =
   match Hashtbl.find_opt c.indexers name with Some g -> g | None -> raise (Missing_indexer name)
@@ -172,7 +178,7 @@ let open_collection ?(indexers : 'a Indexer.generic list = []) ct ~(name : strin
   | None -> invalid_arg (Printf.sprintf "unknown collection %S" name)
   | Some coll_oid ->
       let m = Object_store.deref (Object_store.open_readonly ct.txn coll_cls coll_oid) in
-      if m.co_schema <> schema.Obj_class.name then
+      if not (String.equal m.co_schema schema.Obj_class.name) then
         raise (Obj_class.Type_mismatch { expected = schema.Obj_class.name; actual = m.co_schema });
       let c = { coll_oid; cls = schema; indexers = Hashtbl.create 4 } in
       List.iter (fun (Indexer.Generic ix) -> register_indexer c ix) indexers;
@@ -377,14 +383,14 @@ let size ct (c : 'a collection) : int =
     unique index would cover duplicate keys (paper Figure 6). *)
 let create_index ct (c : 'a collection) (ix : ('a, 'k) Indexer.t) : unit =
   let m = meta_rw ct c in
-  if List.exists (fun im -> im.im_name = ix.Indexer.name) m.co_indexes then
+  if List.exists (fun im -> String.equal im.im_name ix.Indexer.name) m.co_indexes then
     invalid_arg (Printf.sprintf "index %S already exists" ix.Indexer.name);
   register_indexer c ix;
   let anchor = Index.create_anchor ct.txn ix.Indexer.impl in
   let im = { im_name = ix.Indexer.name; im_impl = ix.Indexer.impl; im_unique = ix.Indexer.unique; im_anchor = anchor } in
   let ops = ops_of_generic (Indexer.Generic ix) im in
   (* populate via the first existing index *)
-  let first = List.hd m.co_indexes in
+  let first = first_index m in
   let first_ops = ops_of_generic (generic_of c first.im_name) first in
   let members = Index.scan ct.txn first_ops first.im_anchor in
   (try
@@ -407,7 +413,7 @@ let remove_index ct (c : 'a collection) ~(name : string) : unit =
   let im = find_meta m name in
   let g = generic_of c name in
   Index.drop ct.txn (ops_of_generic g im) im.im_anchor;
-  m.co_indexes <- List.filter (fun i -> i.im_name <> name) m.co_indexes;
+  m.co_indexes <- List.filter (fun i -> not (String.equal i.im_name name)) m.co_indexes;
   Hashtbl.remove c.indexers name
 
 (** Remove a named collection along with all objects previously inserted
@@ -416,7 +422,7 @@ let remove_collection ct ~(name : string) ~(schema : 'a Obj_class.t) ~(indexers 
   let c = open_collection ct ~name ~schema in
   List.iter (fun (Indexer.Generic ix) -> register_indexer c ix) indexers;
   let m = meta_ro ct c in
-  let first = List.hd m.co_indexes in
+  let first = first_index m in
   let first_ops = ops_of_generic (generic_of c first.im_name) first in
   let members = Index.scan ct.txn first_ops first.im_anchor in
   List.iter (fun oid -> Object_store.remove ct.txn oid) members;

@@ -171,6 +171,13 @@ let create_anchor (x : Object_store.txn) (impl : Indexer.impl) : oid =
 (* B-tree                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(** A structurally impossible index shape: a persisted node contradicts
+    its invariants (arity, split results). Distinct from [Tamper_detected]
+    — the chunk layer has already validated the bytes. *)
+let corrupt what = failwith ("Index: corrupt index structure: " ^ what)
+
+let nth_or l i what = match List.nth_opt l i with Some v -> v | None -> corrupt what
+
 module Btree = struct
   (* Position of the child to descend into for [key]:
      key < keys[0] -> kid 0; keys[i] <= key < keys[i+1] -> kid i+1. *)
@@ -178,11 +185,11 @@ module Btree = struct
     let rec go i = function [] -> i | k :: rest -> if cmp key k < 0 then i else go (i + 1) rest in
     go 0 keys
 
-  let nth_kid kids i = List.nth kids i
+  let nth_kid kids i = nth_or kids i "kid slot out of range"
 
   let split_list l at =
     let rec go acc i = function
-      | rest when i = at -> (List.rev acc, rest)
+      | rest when Int.equal i at -> (List.rev acc, rest)
       | [] -> (List.rev acc, [])
       | x :: rest -> go (x :: acc) (i + 1) rest
     in
@@ -217,13 +224,16 @@ module Btree = struct
         let at = List.length n.keys / 2 in
         let lk, rk = split_list n.keys at in
         let lv, rv = split_list n.vals at in
-        let right =
-          Object_store.insert x btree_cls { leaf = true; keys = rk; vals = rv; kids = []; next = n.next }
-        in
-        n.keys <- lk;
-        n.vals <- lv;
-        n.next <- Some right;
-        Some (List.hd rk, right)
+        match rk with
+        | [] -> corrupt "leaf split produced no right keys"
+        | sep :: _ ->
+            let right =
+              Object_store.insert x btree_cls { leaf = true; keys = rk; vals = rv; kids = []; next = n.next }
+            in
+            n.keys <- lk;
+            n.vals <- lv;
+            n.next <- Some right;
+            Some (sep, right)
       end
     end
     else begin
@@ -239,14 +249,16 @@ module Btree = struct
           else begin
             let at = List.length n.keys / 2 in
             let lk, rest = split_list n.keys at in
-            let sep, rk = (List.hd rest, List.tl rest) in
-            let lkid, rkid = split_list n.kids (at + 1) in
-            let right =
-              Object_store.insert x btree_cls { leaf = false; keys = rk; vals = []; kids = rkid; next = None }
-            in
-            n.keys <- lk;
-            n.kids <- lkid;
-            Some (sep, right)
+            match rest with
+            | [] -> corrupt "internal split produced no separator"
+            | sep :: rk ->
+                let lkid, rkid = split_list n.kids (at + 1) in
+                let right =
+                  Object_store.insert x btree_cls { leaf = false; keys = rk; vals = []; kids = rkid; next = None }
+                in
+                n.keys <- lk;
+                n.kids <- lkid;
+                Some (sep, right)
           end
     end
 
@@ -279,7 +291,7 @@ module Btree = struct
           | [], [] -> ([], [])
           | k :: krest, v :: vrest ->
               if ops.cmp key k = 0 then begin
-                let v' = List.filter (fun o -> o <> oid) v in
+                let v' = List.filter (fun o -> not (Int.equal o oid)) v in
                 changed := true;
                 if v' = [] then (krest, vrest) else (k :: krest, v' :: vrest)
               end
@@ -340,7 +352,7 @@ module Btree = struct
               if above then stop := true
               else if not below then acc := (k, List.rev v) :: !acc)
             n.keys n.vals;
-          if (not !stop) && n.next <> None then walk (Option.get n.next)
+          if not !stop then match n.next with Some next -> walk next | None -> ()
         in
         walk (seek_leaf x ops root min);
         List.rev !acc
@@ -373,11 +385,11 @@ module Hashidx = struct
     if slot < a.a_next then h mod (2 * m) else slot
 
   let bucket_oid x (a : anchor) (i : int) : oid =
-    let seg = ro x dir_seg_cls (List.nth a.a_buckets (i / dir_seg_cap)) in
-    List.nth seg.d_slots (i mod dir_seg_cap)
+    let seg = ro x dir_seg_cls (nth_or a.a_buckets (i / dir_seg_cap) "directory segment missing") in
+    nth_or seg.d_slots (i mod dir_seg_cap) "bucket slot missing"
 
   let append_bucket x (a : anchor) (b : oid) : unit =
-    let last = List.nth a.a_buckets (List.length a.a_buckets - 1) in
+    let last = nth_or a.a_buckets (List.length a.a_buckets - 1) "directory has no segments" in
     let seg = ro x dir_seg_cls last in
     if List.length seg.d_slots < dir_seg_cap then begin
       let seg = rw x dir_seg_cls last in
@@ -410,7 +422,7 @@ module Hashidx = struct
       let freshb = rw x bucket_cls fresh in
       freshb.pairs <- move;
       a.a_next <- a.a_next + 1;
-      if a.a_next = m then begin
+      if Int.equal a.a_next m then begin
         a.a_level <- a.a_level + 1;
         a.a_next <- 0
       end
@@ -420,7 +432,7 @@ module Hashidx = struct
     let a = rw x anchor_cls anchor_oid in
     let b = rw x bucket_cls (bucket_oid x a (address a key)) in
     let before = List.length b.pairs in
-    b.pairs <- List.filter (fun (k, o) -> not (String.equal k key && o = oid)) b.pairs;
+    b.pairs <- List.filter (fun (k, o) -> not (String.equal k key && Int.equal o oid)) b.pairs;
     if List.length b.pairs < before then a.a_count <- max 0 (a.a_count - 1)
 
   let exact x _ops anchor_oid key : oid list =
@@ -472,9 +484,9 @@ module Listidx = struct
       | None -> false
       | Some noid ->
           let n = ro x list_cls noid in
-          if List.exists (fun (k, o) -> String.equal k key && o = oid) n.pairs then begin
+          if List.exists (fun (k, o) -> String.equal k key && Int.equal o oid) n.pairs then begin
             let n = rw x list_cls noid in
-            n.pairs <- List.filter (fun (k, o) -> not (String.equal k key && o = oid)) n.pairs;
+            n.pairs <- List.filter (fun (k, o) -> not (String.equal k key && Int.equal o oid)) n.pairs;
             true
           end
           else go n.lnext

@@ -1,0 +1,20 @@
+(** Common signature for block ciphers. *)
+
+module type CIPHER = sig
+  val name : string
+
+  val block_size : int
+  (** Block size in bytes. *)
+
+  val key_size : int
+  (** Key size in bytes expected by {!of_secret}. *)
+
+  type key
+
+  val of_secret : string -> key
+  (** Expands raw key material into round keys.
+      @raise Invalid_argument if the secret has the wrong length. *)
+
+  val encrypt_block : key -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> unit
+  val decrypt_block : key -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> unit
+end

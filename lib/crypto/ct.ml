@@ -10,4 +10,12 @@ let equal_string (a : string) (b : string) : bool =
     !acc = 0
   end
 
-let equal_bytes a b = equal_string (Bytes.unsafe_to_string a) (Bytes.unsafe_to_string b)
+let equal_bytes (a : bytes) (b : bytes) : bool =
+  if Bytes.length a <> Bytes.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to Bytes.length a - 1 do
+      acc := !acc lor (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i))
+    done;
+    !acc = 0
+  end

@@ -1,0 +1,24 @@
+(** Common signature implemented by the hash functions in this library. *)
+
+module type S = sig
+  val digest_size : int
+  (** Size of the digest in bytes. *)
+
+  val block_size : int
+  (** Internal block size in bytes (needed by HMAC). *)
+
+  type ctx
+  (** Incremental hashing context. *)
+
+  val init : unit -> ctx
+  val feed : ctx -> ?off:int -> ?len:int -> string -> unit
+  val feed_bytes : ctx -> ?off:int -> ?len:int -> bytes -> unit
+
+  val get : ctx -> string
+  (** Finalize a copy of the context; the context stays usable. *)
+
+  val digest : string -> string
+  (** One-shot digest. *)
+
+  val digest_bytes : bytes -> string
+end

@@ -9,7 +9,7 @@ let of_string (s : string) : string =
     Bytes.set out (2 * i) (digit (c lsr 4));
     Bytes.set out ((2 * i) + 1) (digit (c land 0xf))
   done;
-  Bytes.unsafe_to_string out
+  Bytes.to_string out
 
 let of_bytes (b : bytes) : string = of_string (Bytes.to_string b)
 

@@ -87,7 +87,7 @@ let feed ctx ?(off = 0) ?len (s : string) =
     ctx.buf_len <- ctx.buf_len + take;
     pos := !pos + take;
     remaining := !remaining - take;
-    if ctx.buf_len = block_size then begin
+    if Int.equal ctx.buf_len block_size then begin
       process ctx (Bytes.unsafe_to_string ctx.buf) 0;
       ctx.buf_len <- 0
     end

@@ -1,0 +1,80 @@
+(** The checked-in lint allowlist: [file:line:RULE  # justification]
+    entries that suppress individual violations.
+
+    Entries are exact (file, line, rule) triples, so an edit that moves a
+    justified site forces the allowlist to be re-audited — intentional
+    friction for the trusted layers. Stale entries (matching nothing) are
+    reported so the file never accumulates dead grants. *)
+
+type entry = {
+  a_file : string;
+  a_line : int;
+  a_rule : Engine.rule;
+  a_source : string;  (** "allowfile:lineno", for diagnostics *)
+}
+
+let parse_line ~source ~lnum raw : entry option =
+  let line =
+    match String.index_opt raw '#' with Some i -> String.sub raw 0 i | None -> raw
+  in
+  let line = String.trim line in
+  if String.equal line "" then None
+  else
+    let malformed () =
+      failwith
+        (Printf.sprintf "%s:%d: malformed allowlist entry %S (want file:line:RULE  # why)" source
+           lnum raw)
+    in
+    match String.split_on_char ':' line with
+    | [ f; l; r ] -> (
+        match (int_of_string_opt (String.trim l), Engine.rule_of_id (String.trim r)) with
+        | Some a_line, Some a_rule ->
+            Some
+              {
+                a_file = String.trim f;
+                a_line;
+                a_rule;
+                a_source = Printf.sprintf "%s:%d" source lnum;
+              }
+        | _ -> malformed ())
+    | _ -> malformed ()
+
+let load fname =
+  let ic = open_in fname in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lnum acc =
+        match In_channel.input_line ic with
+        | None -> List.rev acc
+        | Some raw -> (
+            match parse_line ~source:fname ~lnum raw with
+            | None -> go (lnum + 1) acc
+            | Some e -> go (lnum + 1) (e :: acc))
+      in
+      go 1 [])
+
+let matches e (v : Engine.violation) =
+  String.equal e.a_file v.Engine.v_file
+  && Int.equal e.a_line v.Engine.v_line
+  && Engine.rule_equal e.a_rule v.Engine.v_rule
+
+let filter entries violations =
+  let arr = Array.of_list entries in
+  let used = Array.make (Array.length arr) false in
+  let kept =
+    List.filter
+      (fun v ->
+        let suppressed = ref false in
+        Array.iteri
+          (fun i e ->
+            if matches e v then begin
+              used.(i) <- true;
+              suppressed := true
+            end)
+          arr;
+        not !suppressed)
+      violations
+  in
+  let stale = List.filteri (fun i _ -> not used.(i)) entries in
+  (kept, stale)

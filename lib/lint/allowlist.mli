@@ -1,0 +1,20 @@
+(** The checked-in lint allowlist ([lint_allow.txt]).
+
+    Line format: [file:line:RULE  # justification]. Blank lines and
+    [#]-comment lines are ignored. Paths are repo-relative with forward
+    slashes, matching {!Engine.violation.v_file}. *)
+
+type entry = {
+  a_file : string;
+  a_line : int;
+  a_rule : Engine.rule;
+  a_source : string;  (** "allowfile:lineno", for diagnostics *)
+}
+
+val load : string -> entry list
+(** @raise Failure on a malformed entry, naming the offending line. *)
+
+val filter : entry list -> Engine.violation list -> Engine.violation list * entry list
+(** [filter entries vs] is [(kept, stale)]: violations not covered by any
+    entry, and entries that matched no violation (dead grants the caller
+    should report). *)

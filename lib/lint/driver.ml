@@ -1,0 +1,49 @@
+(** File-system driver for the lint pass: walks source trees, runs
+    {!Engine.check_source} on every [.ml], and checks R5 (interface
+    presence) against the sibling [.mli] set. *)
+
+type report = { files_checked : int; violations : Engine.violation list }
+
+let read_file fname =
+  let ic = open_in_bin fname in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let hidden name = String.length name > 0 && Char.equal name.[0] '.'
+
+let skip_dir name = hidden name || String.equal name "_build"
+
+(** Collect repo-relative [.ml] and [.mli] paths under [rel] (itself
+    relative to [root]), depth-first, deterministic order. *)
+let rec collect ~root rel (mls, mlis) =
+  let abs = Filename.concat root rel in
+  if Sys.is_directory abs then begin
+    let names = Sys.readdir abs in
+    Array.sort String.compare names;
+    Array.fold_left
+      (fun acc name -> if skip_dir name then acc else collect ~root (rel ^ "/" ^ name) acc)
+      (mls, mlis) names
+  end
+  else if Filename.check_suffix rel ".ml" then (rel :: mls, mlis)
+  else if Filename.check_suffix rel ".mli" then (mls, rel :: mlis)
+  else (mls, mlis)
+
+let scan ~root dirs : report =
+  let mls, mlis = List.fold_left (fun acc d -> collect ~root d acc) ([], []) dirs in
+  let mls = List.sort String.compare mls in
+  let has_mli ml = List.exists (String.equal (ml ^ "i")) mlis in
+  let violations =
+    List.concat_map
+      (fun rel ->
+        let source = read_file (Filename.concat root rel) in
+        let vs =
+          match Engine.check_source ~path:rel source with
+          | vs -> vs
+          | exception Syntaxerr.Error _ -> failwith (rel ^ ": syntax error (does it compile?)")
+          | exception Lexer.Error (_, _) -> failwith (rel ^ ": lexing error (does it compile?)")
+        in
+        if has_mli rel then vs else vs @ [ Engine.missing_interface ~path:rel ])
+      mls
+  in
+  { files_checked = List.length mls; violations }

@@ -1,0 +1,10 @@
+(** File-system driver for the lint pass. *)
+
+type report = { files_checked : int; violations : Engine.violation list }
+
+val scan : root:string -> string list -> report
+(** [scan ~root dirs] lints every [.ml] under each of [dirs] (paths
+    relative to [root]; hidden entries and [_build] are skipped) and
+    checks each for a sibling [.mli] (R5). Violations carry
+    repo-relative paths. @raise Failure on unreadable or unparsable
+    input, naming the file. *)

@@ -16,6 +16,8 @@ exception Lock_timeout of { oid : int; txn : int }
 
 type mode = Shared | Exclusive
 
+let mode_shared = function Shared -> true | Exclusive -> false
+
 type entry = { mutable holders : (int * mode) list (* txn id, mode *) }
 
 type t = {
@@ -33,8 +35,8 @@ let mode_of t ~txn ~oid =
 (** Can [txn] acquire [mode] on the entry right now? *)
 let grantable (e : entry) ~txn ~mode =
   match mode with
-  | Shared -> List.for_all (fun (t', m) -> t' = txn || m = Shared) e.holders
-  | Exclusive -> List.for_all (fun (t', _) -> t' = txn) e.holders
+  | Shared -> List.for_all (fun (t', m) -> Int.equal t' txn || mode_shared m) e.holders
+  | Exclusive -> List.for_all (fun (t', _) -> Int.equal t' txn) e.holders
 
 let note_held t ~txn ~oid =
   let oids =
@@ -61,7 +63,7 @@ let acquire t ~(mu : Mutex.t) ~(txn : int) ~(oid : int) ~(mode : mode) ~(timeout
   in
   (match List.assoc_opt txn e.holders with
   | Some Exclusive -> () (* already strongest *)
-  | Some Shared when mode = Shared -> ()
+  | Some Shared when mode_shared mode -> ()
   | _ ->
       let deadline = Unix.gettimeofday () +. timeout in
       let rec wait () =

@@ -49,6 +49,8 @@ type t = {
 
 type txn_state = Active | Committed | Aborted
 
+let is_active = function Active -> true | Committed | Aborted -> false
+
 type txn = {
   store : t;
   txn_id : int;
@@ -70,7 +72,7 @@ type writable = |
 
 (** Dereference. @raise Stale_ref if the owning transaction has ended. *)
 let deref (r : ('a, 'mode) ref_) : 'a =
-  if r.owner.state <> Active then raise Stale_ref;
+  if not (is_active r.owner.state) then raise Stale_ref;
   r.value
 
 let with_mu t f =
@@ -140,7 +142,7 @@ let begin_ (t : t) : txn =
         root_updates = [];
       })
 
-let check_active (x : txn) = if x.state <> Active then raise Stale_ref
+let check_active (x : txn) = if not (is_active x.state) then raise Stale_ref
 
 let lock x ~oid ~mode =
   if x.store.cfg.locking then
@@ -182,7 +184,7 @@ let open_gen (x : txn) (cls : 'a Obj_class.t) (oid : oid) ~(mode : Lock_manager.
       lock x ~oid ~mode;
       let e = load x.store oid in
       pin_entry x e;
-      if mode = Lock_manager.Exclusive then Hashtbl.replace x.writes oid e;
+      (match mode with Lock_manager.Exclusive -> Hashtbl.replace x.writes oid e | Lock_manager.Shared -> ());
       Obj_class.cast cls e.Cache.value)
 
 (** Open for reading: shared lock, const view. *)
@@ -205,7 +207,7 @@ let remove (x : txn) (oid : oid) : unit =
       | true -> ()
       | false -> ignore (load x.store oid));
       Hashtbl.remove x.writes oid;
-      x.inserted <- List.filter (fun o -> o <> oid) x.inserted;
+      x.inserted <- List.filter (fun o -> not (Int.equal o oid)) x.inserted;
       x.removed <- oid :: x.removed)
 
 (** Register/overwrite (or with [None], clear) a named root within the
@@ -291,5 +293,5 @@ let with_txn ?durable (t : t) (f : txn -> 'a) : 'a =
       commit ?durable x;
       v
   | exception exn ->
-      if x.state = Active then abort x;
+      if is_active x.state then abort x;
       raise exn

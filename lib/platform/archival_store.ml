@@ -38,7 +38,7 @@ let open_mem () : Mem.handle * t =
     {
       put = (fun ~name data -> Hashtbl.replace h name data);
       get = (fun ~name -> Hashtbl.find_opt h name);
-      list = (fun () -> List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h []));
+      list = (fun () -> List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) h []));
       delete = (fun ~name -> Hashtbl.remove h name);
     } )
 
@@ -65,6 +65,6 @@ let open_dir (dir : string) : t =
           Some s
         end
         else None);
-    list = (fun () -> Sys.readdir dir |> Array.to_list |> List.sort compare);
+    list = (fun () -> Sys.readdir dir |> Array.to_list |> List.sort String.compare);
     delete = (fun ~name -> try Sys.remove (path name) with Sys_error _ -> ());
   }

@@ -48,7 +48,10 @@ let open_file (path : string) : t =
     | Some i ->
         let v = Int64.of_string_opt (String.sub s 0 i) in
         ( match v with
-        | Some v when String.sub s (i + 1) (String.length s - i - 1) = Tdb_crypto.Hex.of_string (checksum v) ->
+        | Some v
+          when String.equal
+                 (String.sub s (i + 1) (String.length s - i - 1))
+                 (Tdb_crypto.Hex.of_string (checksum v)) ->
             Some v
         | _ -> None )
   in
@@ -68,7 +71,7 @@ let open_file (path : string) : t =
   let write_slot i v =
     ignore (Unix.lseek fd (i * slot_len) Unix.SEEK_SET);
     let s = encode v in
-    let b = Bytes.unsafe_of_string s in
+    let b = Bytes.of_string s in
     let rec drain pos = if pos < Bytes.length b then drain (pos + Unix.write fd b pos (Bytes.length b - pos)) in
     drain 0;
     Unix.fsync fd

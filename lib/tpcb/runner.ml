@@ -19,7 +19,7 @@ let percentile (samples : float array) (p : float) : float =
   if Array.length samples = 0 then 0.0
   else begin
     let sorted = Array.copy samples in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     sorted.(min (Array.length sorted - 1) (int_of_float (p *. float_of_int (Array.length sorted))))
   end
 

@@ -60,7 +60,7 @@ let wrap_store (m : model) (c : clock) (s : Tdb_platform.Untrusted_store.t) : Td
         s.Tdb_platform.Untrusted_store.read ~off ~len);
     Tdb_platform.Untrusted_store.write =
       (fun ~off data ->
-        if off <> !last_end then c.elapsed <- c.elapsed +. m.position_s;
+        if not (Int.equal off !last_end) then c.elapsed <- c.elapsed +. m.position_s;
         c.elapsed <- c.elapsed +. (float_of_int (String.length data) /. m.transfer_bytes_per_s);
         last_end := off + String.length data;
         pending := true;

@@ -126,7 +126,7 @@ let flat_of_record (r : record) : string =
   for i = 0 to 7 do
     Bytes.set b (4 + i) (Char.chr ((r.balance asr (8 * (7 - i))) land 0xff))
   done;
-  Bytes.unsafe_to_string b
+  Bytes.to_string b
 
 let record_of_flat (s : string) : record =
   let id =

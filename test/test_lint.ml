@@ -1,0 +1,185 @@
+(* Tests for the tdb_lint rule engine: each rule must fire on a minimal bad
+   fixture and stay silent on the corresponding good one, the allowlist
+   must drop matched violations and report stale entries, and the real
+   source tree must lint clean against the checked-in allowlist. *)
+
+open Tdb_lint_engine
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rules_at ~path src =
+  List.map (fun v -> Engine.rule_id v.Engine.v_rule) (Engine.check_source ~path src)
+
+let fires rule ~path src = List.mem rule (rules_at ~path src)
+
+let check_fires name rule ~path src =
+  Alcotest.(check bool) (name ^ ": " ^ rule ^ " fires") true (fires rule ~path src)
+
+let check_silent name rule ~path src =
+  Alcotest.(check bool) (name ^ ": " ^ rule ^ " silent") false (fires rule ~path src)
+
+(* ------------------------------------------------------------------ *)
+(* R1: polymorphic comparison                                          *)
+(* ------------------------------------------------------------------ *)
+
+let lib = "lib/collection/fixture.ml"
+
+let test_r1 () =
+  check_fires "poly =" "R1" ~path:lib "let f a b = a = b";
+  check_fires "poly <>" "R1" ~path:lib "let f a b = a <> b";
+  check_fires "applied compare" "R1" ~path:lib "let f a b = compare a b";
+  check_fires "compare as value" "R1" ~path:lib "let f l = List.sort compare l";
+  check_fires "Stdlib.compare" "R1" ~path:lib "let f a b = Stdlib.compare a b";
+  check_fires "Hashtbl.hash" "R1" ~path:lib "let f x = Hashtbl.hash x";
+  check_silent "String.equal" "R1" ~path:lib "let f a b = String.equal a b";
+  check_silent "Int.compare as value" "R1" ~path:lib "let f l = List.sort Int.compare l";
+  check_silent "int literal operand" "R1" ~path:lib "let f a = a = 0";
+  check_silent "None operand" "R1" ~path:lib "let f a = a = None";
+  check_silent "bool literal operand" "R1" ~path:lib "let f a = a = true";
+  check_silent "nil operand" "R1" ~path:lib "let f a = a = []";
+  check_silent "length result operand" "R1" ~path:lib "let f s = String.length s = 3";
+  check_silent "compare-to-zero idiom" "R1" ~path:lib "let f a b = String.compare a b = 0"
+
+(* ------------------------------------------------------------------ *)
+(* R2: constant-time comparison of secret-derived values               *)
+(* ------------------------------------------------------------------ *)
+
+let test_r2 () =
+  let crypto = "lib/crypto/fixture.ml" and chunk = "lib/chunk/fixture.ml" in
+  check_fires "String.equal on mac" "R2" ~path:crypto "let ok mac expected = String.equal mac expected";
+  check_fires "= on digest" "R2" ~path:chunk "let ok digest expected = digest = expected";
+  check_fires "record field mac" "R2" ~path:chunk "let ok r e = String.equal r.mac e";
+  check_fires "suffix ident" "R2" ~path:crypto "let ok commit_mac e = String.equal commit_mac e";
+  check_silent "Ct.equal_string" "R2" ~path:crypto "let ok mac expected = Ct.equal_string mac expected";
+  check_silent "component boundary (stage)" "R2" ~path:crypto "let ok stage e = String.equal stage e";
+  (* Outside the constant-time scope the same code is acceptable. *)
+  check_silent "outside ct dirs" "R2" ~path:"lib/tpcb/fixture.ml"
+    "let ok mac expected = String.equal mac expected"
+
+(* ------------------------------------------------------------------ *)
+(* R3: banned modules in the trusted layers                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_r3 () =
+  let chunk = "lib/chunk/fixture.ml" in
+  check_fires "Random in trusted" "R3" ~path:chunk "let x () = Random.int 5";
+  check_fires "Obj.magic in trusted" "R3" ~path:"lib/crypto/fixture.ml" "let f x = Obj.magic x";
+  check_fires "Marshal in trusted" "R3" ~path:"lib/objstore/fixture.ml"
+    "let f x = Marshal.to_string x []";
+  check_fires "open Random" "R3" ~path:chunk "open Random\nlet x () = int 5";
+  check_silent "Random outside trusted" "R3" ~path:"lib/tpcb/fixture.ml" "let x () = Random.int 5";
+  check_silent "Drbg is fine" "R3" ~path:chunk "let x d = Drbg.generate d 16"
+
+(* ------------------------------------------------------------------ *)
+(* R4: partial/unsafe functions and catch-all handlers                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_r4 () =
+  check_fires "List.hd" "R4" ~path:lib "let f l = List.hd l";
+  check_fires "List.nth" "R4" ~path:lib "let f l = List.nth l 3";
+  check_fires "Option.get" "R4" ~path:lib "let f o = Option.get o";
+  check_fires "Bytes.unsafe_get" "R4" ~path:lib "let f b = Bytes.unsafe_get b 0";
+  check_fires "Bytes.unsafe_to_string" "R4" ~path:lib "let f b = Bytes.unsafe_to_string b";
+  check_fires "catch-all try" "R4" ~path:lib "let f g = try g () with _ -> ()";
+  check_silent "pattern match" "R4" ~path:lib "let f l = match l with [] -> 0 | x :: _ -> x";
+  check_silent "List.nth_opt" "R4" ~path:lib "let f l = List.nth_opt l 3";
+  check_silent "specific exception" "R4" ~path:lib "let f g = try g () with Not_found -> ()";
+  check_silent "Bytes.get" "R4" ~path:lib "let f b = Bytes.get b 0"
+
+(* ------------------------------------------------------------------ *)
+(* R5 + Driver.scan over a synthetic tree                              *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let test_r5_scan () =
+  let root = Filename.temp_file "tdb_lint" "" in
+  Sys.remove root;
+  Unix.mkdir root 0o700;
+  Unix.mkdir (Filename.concat root "lib") 0o700;
+  let p name = Filename.concat (Filename.concat root "lib") name in
+  write_file (p "good.ml") "let x = 1";
+  write_file (p "good.mli") "val x : int";
+  write_file (p "bare.ml") "let y = 2";
+  let report = Driver.scan ~root [ "lib" ] in
+  Alcotest.(check int) "files checked" 2 report.Driver.files_checked;
+  let r5 =
+    List.filter (fun v -> Engine.rule_equal v.Engine.v_rule Engine.R5) report.Driver.violations
+  in
+  Alcotest.(check int) "one missing interface" 1 (List.length r5);
+  (match r5 with
+  | [ v ] -> Alcotest.(check string) "names the bare module" "lib/bare.ml" v.Engine.v_file
+  | _ -> Alcotest.fail "expected exactly one R5 violation")
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_allowlist () =
+  let file = Filename.temp_file "tdb_allow" ".txt" in
+  write_file file
+    "# comment\n\nlib/a.ml:3:R1  # grandfathered\nlib/b.ml:9:R4\n";
+  let entries = Allowlist.load file in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  let v_hit =
+    { Engine.v_file = "lib/a.ml"; v_line = 3; v_col = 0; v_rule = Engine.R1; v_msg = "m" }
+  in
+  let v_miss =
+    { Engine.v_file = "lib/a.ml"; v_line = 4; v_col = 0; v_rule = Engine.R1; v_msg = "m" }
+  in
+  let kept, stale = Allowlist.filter entries [ v_hit; v_miss ] in
+  Alcotest.(check int) "only the unmatched violation kept" 1 (List.length kept);
+  (match kept with
+  | [ v ] -> Alcotest.(check int) "kept the line-4 one" 4 v.Engine.v_line
+  | _ -> Alcotest.fail "expected one kept violation");
+  Alcotest.(check int) "lib/b.ml entry is stale" 1 (List.length stale);
+  (* wrong rule does not match *)
+  let wrong_rule = { v_hit with Engine.v_rule = Engine.R4 } in
+  let kept', _ = Allowlist.filter entries [ wrong_rule ] in
+  Alcotest.(check int) "rule must match too" 1 (List.length kept');
+  (* malformed entries are hard errors *)
+  write_file file "lib/a.ml:notanumber:R1\n";
+  Alcotest.(check bool) "malformed line raises" true
+    (match Allowlist.load file with exception Failure _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The real tree lints clean                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_real_tree_clean () =
+  (* `dune runtest` runs from test/, `dune exec` from the project root. *)
+  let root = if Sys.file_exists "lib" && Sys.is_directory "lib" then "." else ".." in
+  let report = Driver.scan ~root [ "lib" ] in
+  Alcotest.(check bool) "scanned a real tree" true (report.Driver.files_checked > 30);
+  let entries = Allowlist.load (Filename.concat root "lint_allow.txt") in
+  let kept, stale = Allowlist.filter entries report.Driver.violations in
+  let show vs =
+    String.concat "; "
+      (List.map (fun v -> Printf.sprintf "%s:%d:%s" v.Engine.v_file v.Engine.v_line
+                    (Engine.rule_id v.Engine.v_rule)) vs)
+  in
+  Alcotest.(check string) "no unallowed violations" "" (show kept);
+  Alcotest.(check int) "no stale allow entries" 0 (List.length stale)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 polymorphic comparison" `Quick test_r1;
+          Alcotest.test_case "R2 constant-time comparison" `Quick test_r2;
+          Alcotest.test_case "R3 banned modules" `Quick test_r3;
+          Alcotest.test_case "R4 partial functions" `Quick test_r4;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "R5 via scan" `Quick test_r5_scan;
+          Alcotest.test_case "allowlist" `Quick test_allowlist;
+          Alcotest.test_case "real tree clean" `Quick test_real_tree_clean;
+        ] );
+    ]
