@@ -256,7 +256,14 @@ let restore ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Arc
   let expected = Tdb_crypto.Hmac.sha256 ~key:mac_key ("genesis" ^ encode_header full_h ^ encode_body ~changed:full_p.p_changed ~removed:full_p.p_removed) in
   if not (Tdb_crypto.Ct.equal_string expected full_p.p_chain) then invalid "full backup chain mismatch";
   let apply (p : parsed) =
-    List.iter (fun (cid, data) -> Chunk_store.restore_chunk into cid data) p.p_changed;
+    (match
+       List.iter (fun (cid, data) -> Chunk_store.restore_chunk into cid data) p.p_changed
+     with
+    | () -> ()
+    | exception Types.Chunk_too_large { cid; size; max } ->
+        (* a decoded-but-impossible record: leave the target store clean *)
+        Chunk_store.abort_batch into;
+        invalid "backup record for chunk %d is %d bytes (limit %d)" cid size max);
     List.iter
       (fun cid -> match Chunk_store.deallocate into cid with () -> () | exception Types.Not_allocated _ -> ())
       p.p_removed;

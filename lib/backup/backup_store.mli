@@ -42,4 +42,6 @@ val restore :
     backup with id ≤ [upto] (default: newest overall) and its incrementals
     in sequence, re-verifying MACs and the hash chain across streams.
     Returns the id of the last backup applied.
-    @raise Invalid_backup on missing/forged/out-of-order streams. *)
+    @raise Invalid_backup on missing/forged/out-of-order streams, and on
+    records too large for the target store's configuration (the batch is
+    aborted, leaving the target clean). *)

@@ -383,15 +383,22 @@ let allocate t : chunk_id =
 (** Restore-mode write: claim a specific chunk id and buffer data for it —
     used by the backup store to rebuild a database with its original ids
     (full backup lays chunks down, incrementals overwrite them). *)
+let check_chunk_size t cid data =
+  let max = Config.max_chunk_size t.cfg - Security.seal_overhead t.sec (String.length data) - 32 in
+  if String.length data > max then raise (Chunk_too_large { cid; size = String.length data; max })
+
 let restore_chunk t (cid : chunk_id) (data : string) : unit =
   if cid < 0 then invalid_arg "Chunk_store.restore_chunk: negative id";
+  (* Same bound as [write]: a backup stream is untrusted input, and an
+     oversized record must surface here as [Chunk_too_large], not blow up
+     mid-commit after growing the store. *)
+  check_chunk_size t cid data;
   t.next_id <- max t.next_id (cid + 1);
   Hashtbl.replace t.pending cid (Op_write data)
 
 let write t (cid : chunk_id) (data : string) : unit =
   if not (is_allocated t cid) then raise (Not_allocated cid);
-  let max = Config.max_chunk_size t.cfg - Security.seal_overhead t.sec (String.length data) - 32 in
-  if String.length data > max then raise (Chunk_too_large { cid; size = String.length data; max });
+  check_chunk_size t cid data;
   Hashtbl.replace t.pending cid (Op_write data)
 
 let read t (cid : chunk_id) : string =
@@ -712,26 +719,34 @@ let open_existing ?(config = Config.default) ~(secret : Tdb_platform.Secret_stor
                  commits := (body, link, end_pos) :: !commits ))
    with Exit -> ());
   let commits = List.rev !commits in
-  (* Validate the data each commit references; a failure in the *last*
-     commit is a crash (sync did not complete), anywhere else is
-     tampering. *)
-  let n = List.length commits in
-  let validated = ref [] in
-  List.iteri
-    (fun i (body, link, end_pos) ->
-      let ok =
-        List.for_all
-          (fun (_cid, (e : entry)) ->
-            match Log.read_payload t.log e with
-            | stored -> t.sec.Security.enabled = false || Tdb_crypto.Ct.equal_string e.hash (Security.label t.sec stored)
-            | exception _ -> false)
-          body.c_writes
-      in
-      if ok then validated := (body, link, end_pos) :: !validated
-      else if i = n - 1 then () (* torn final commit: discard *)
-      else tamper "residual log: commit %d references corrupt data" body.c_seq)
-    commits;
-  let validated = List.rev !validated in
+  (* Validate the data each commit references, in order, truncating the
+     residual log at the first commit that fails — that commit and
+     everything after it are casualties of the crash, not evidence of
+     tampering. Not only the literal final record can be torn: a bulk
+     load splits one batch into a chain of nondurable sub-commits, and
+     any of them may reference writes that never reached the media, since
+     only the closing durable sync vouches for the data before it.
+     Truncation cannot silently roll back a genuinely durable commit: its
+     counter increment would leave the hardware counter ahead of the
+     recovered state, which the replay check below rejects. *)
+  let validated =
+    let rec keep = function
+      | [] -> []
+      | ((body, _, _) as c) :: rest ->
+          let ok =
+            List.for_all
+              (fun (_cid, (e : entry)) ->
+                match Log.read_payload t.log e with
+                | stored ->
+                    (not t.sec.Security.enabled)
+                    || Tdb_crypto.Ct.equal_string e.hash (Security.label t.sec stored)
+                | exception _ -> false)
+              body.c_writes
+          in
+          if ok then c :: keep rest else []
+    in
+    keep commits
+  in
   (* Keep the prefix up to the last durable commit. *)
   let last_durable =
     List.fold_left

@@ -81,7 +81,10 @@ val deallocate : t -> Types.chunk_id -> unit
 
 val restore_chunk : t -> Types.chunk_id -> string -> unit
 (** Restore-mode write: claim a {e specific} id and buffer data for it —
-    used by the backup store to rebuild a database with its original ids. *)
+    used by the backup store to rebuild a database with its original ids.
+    @raise Types.Chunk_too_large under the same bound as {!write}: a
+    backup stream is untrusted input and oversized records are rejected
+    before they can derail a commit. *)
 
 val commit : ?durable:bool -> t -> unit
 (** Apply the buffered batch atomically. [durable] (default [true]) forces

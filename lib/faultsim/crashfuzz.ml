@@ -1,0 +1,580 @@
+(** Crashpoint sweep harness (see DESIGN.md, "Crash model").
+
+    The harness replays a deterministic TPC-B-style chunk workload and
+    crashes it — via {!Fault_plan} — at {e every} write/sync boundary of
+    both the database store and the one-way-counter store, under several
+    seeded choices of which unsynced writes survive
+    ({!Tdb_platform.Untrusted_store.Mem.crash}). After each crash it
+    reopens the database and checks invariant oracles against a shadow
+    model:
+
+    - {b durability}: the recovered chunk state equals the shadow state at
+      some admissible commit boundary — no earlier than the last commit
+      known durable (durable commit returned, or a checkpoint was observed
+      after a nondurable commit returned), no later than the last commit
+      issued; in particular every durably committed batch is fully visible
+      and every batch is all-or-nothing;
+    - {b honesty}: an honest crash never raises [Tamper_detected] (no
+      false tampering) and never loses the anchor ([Recovery_failed]);
+    - {b counter monotonicity}: the one-way counter never reads below the
+      highest value previously observed after a completed operation;
+    - {b usability}: after recovery the store accepts a write + durable
+      commit and its utilization accounting stays within bounds.
+
+    Each crashed run continues into a second phase: an epilogue workload
+    against the recovered store with a second seeded crashpoint, which
+    exercises the crash behaviour of freshly-reopened state (notably the
+    counter slot-targeting window). A companion {!sweep_tamper} bit-flips
+    every stride-th byte of a committed image and checks the
+    detected/harmless/silent trichotomy: silent wrong data must never
+    happen. *)
+
+module US = Tdb_platform.Untrusted_store
+module OWC = Tdb_platform.One_way_counter
+module Drbg = Tdb_crypto.Drbg
+open Tdb_chunk
+
+(* ------------------------------------------------------------------ *)
+(* Configuration *)
+
+type trace_cfg = {
+  accounts : int;
+  tellers : int;
+  branches : int;
+  txns : int;
+  durable_every : int;  (** every n-th transaction commits durably *)
+  history_keep : int;  (** history chunks retained before deallocation *)
+  epilogue_txns : int;  (** post-recovery phase-B transactions *)
+  seed : string;
+}
+
+let default_trace =
+  {
+    accounts = 12;
+    tellers = 4;
+    branches = 2;
+    txns = 24;
+    durable_every = 4;
+    history_keep = 10;
+    epilogue_txns = 6;
+    seed = "tdb-crashfuzz";
+  }
+
+let smoke_trace = { default_trace with accounts = 6; tellers = 2; branches = 1; txns = 8; epilogue_txns = 4 }
+
+(* Small segments force chained sub-commits and frequent checkpoints;
+   Aes128/Sha1 keeps thousands of runs fast. *)
+let store_config =
+  {
+    Config.default with
+    Config.cipher = Config.Aes128;
+    hash = Config.Sha1;
+    segment_size = 2048;
+    anchor_slot_size = 1024;
+    initial_segments = 4;
+    checkpoint_every = 8;
+    checkpoint_residual_bytes = 4 * 2048;
+    clean_batch = 2;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+type violation = { v_run : string; v_kind : string; v_detail : string }
+
+type crash_report = {
+  boundaries : int;  (** write/sync boundaries in the recorded trace *)
+  crashpoints : int;  (** boundaries actually swept (stride) *)
+  seeds : int;
+  runs : int;
+  crashes : int;
+  recoveries : int;
+  violations : violation list;
+}
+
+type tamper_report = {
+  image_bytes : int;
+  flips : int;
+  detected : int;
+  harmless : int;
+  silent : int;  (** must be 0: a flip produced wrong data without detection *)
+  silent_offsets : int list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shadow model *)
+
+type chunk_state = (int, string) Hashtbl.t
+
+type shadow = {
+  model : chunk_state;  (* live state, including the open batch *)
+  all_cids : (int, unit) Hashtbl.t;  (* every id ever written, across phases *)
+  states : (int, chunk_state) Hashtbl.t;  (* snapshot at each issued commit *)
+  mutable issued : int;  (* commits issued since the base state *)
+  mutable durable_lo : int;  (* highest commit index known durable *)
+}
+
+let shadow_create () =
+  { model = Hashtbl.create 64; all_cids = Hashtbl.create 64; states = Hashtbl.create 16; issued = 0; durable_lo = 0 }
+
+let shadow_write sh cid data =
+  Hashtbl.replace sh.model cid data;
+  Hashtbl.replace sh.all_cids cid ()
+
+let shadow_dealloc sh cid = Hashtbl.remove sh.model cid
+
+(* Declare the current model state the durable base (index 0). *)
+let shadow_base sh =
+  Hashtbl.reset sh.states;
+  Hashtbl.replace sh.states 0 (Hashtbl.copy sh.model);
+  sh.issued <- 0;
+  sh.durable_lo <- 0
+
+(* Reset the base to a previously snapshotted state (post-recovery). *)
+let shadow_reset_to sh d =
+  (match Hashtbl.find_opt sh.states d with
+  | Some st ->
+      Hashtbl.reset sh.model;
+      Hashtbl.iter (fun k v -> Hashtbl.replace sh.model k v) st
+  | None -> ());
+  shadow_base sh
+
+exception Harness_violation of string * string
+
+(* Commit the open batch, snapshotting the shadow at the commit boundary
+   and tracking which boundary is known durable. A checkpoint observed
+   after a nondurable commit promotes every earlier commit to durable
+   (conservatively: up to the previous boundary — the checkpoint may have
+   run before this batch was appended). *)
+let commit_shadow ~durable ~cs ~sh ~cp_seen ~ctr ~hw_floor =
+  sh.issued <- sh.issued + 1;
+  Hashtbl.replace sh.states sh.issued (Hashtbl.copy sh.model);
+  Chunk_store.commit ~durable cs;
+  if durable then begin
+    sh.durable_lo <- sh.issued;
+    let hw = OWC.read ctr in
+    if Int64.compare hw !hw_floor > 0 then hw_floor := hw
+  end
+  else begin
+    let cps = (Chunk_store.stats cs).Chunk_store.checkpoints in
+    if cps > !cp_seen then begin
+      let c = sh.issued - 1 in
+      if c > sh.durable_lo then sh.durable_lo <- c
+    end
+  end;
+  cp_seen := (Chunk_store.stats cs).Chunk_store.checkpoints
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let record_len = 96
+
+let pad s =
+  let n = String.length s in
+  if n >= record_len then String.sub s 0 record_len else s ^ String.make (record_len - n) '.'
+
+let check_read cs sh cid =
+  let got = Chunk_store.read cs cid in
+  match Hashtbl.find_opt sh.model cid with
+  | Some want when String.equal want got -> ()
+  | _ -> raise (Harness_violation ("live-read-mismatch", Printf.sprintf "chunk %d" cid))
+
+(* Phase A: bulk load (one durable commit, chained into sub-commits by the
+   small segment budget) followed by TPC-B-style transactions — update an
+   account, a teller and a branch record, append a history chunk, retire
+   old history. Raises [Fault_plan.Crash_point] when the plan fires. *)
+let run_phase_a ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
+  let n_base = trace.accounts + trace.tellers + trace.branches in
+  let base = Array.init n_base (fun _ -> Chunk_store.allocate cs) in
+  Array.iteri
+    (fun i cid ->
+      let data = pad (Printf.sprintf "base:%03d:init:%d" i (Drbg.int rng 1_000_000)) in
+      Chunk_store.write cs cid data;
+      shadow_write sh cid data)
+    base;
+  commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor;
+  let history = Queue.create () in
+  for i = 1 to trace.txns do
+    let a = base.(Drbg.int rng trace.accounts) in
+    let t = base.(trace.accounts + Drbg.int rng trace.tellers) in
+    let b = base.(trace.accounts + trace.tellers + Drbg.int rng trace.branches) in
+    let delta = Drbg.int rng 10_000 in
+    List.iter
+      (fun cid ->
+        check_read cs sh cid;
+        let data = pad (Printf.sprintf "upd:%03d:txn:%04d:delta:%d" cid i delta) in
+        Chunk_store.write cs cid data;
+        shadow_write sh cid data)
+      [ a; t; b ];
+    let h = Chunk_store.allocate cs in
+    let hdata = pad (Printf.sprintf "hist:%04d:%d:%d:%d:%d" i a t b delta) in
+    Chunk_store.write cs h hdata;
+    shadow_write sh h hdata;
+    Queue.add h history;
+    if Queue.length history > trace.history_keep then begin
+      let old = Queue.pop history in
+      Chunk_store.deallocate cs old;
+      shadow_dealloc sh old
+    end;
+    let durable = Int.equal (i mod trace.durable_every) 0 in
+    commit_shadow ~durable ~cs ~sh ~cp_seen ~ctr ~hw_floor
+  done
+
+(* Phase B: generic epilogue against whatever state recovery produced —
+   rewrite existing chunks, allocate new ones, occasionally deallocate. *)
+let run_epilogue ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
+  for i = 1 to trace.epilogue_txns do
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) sh.model [] in
+    let keys = Array.of_list (List.sort Int.compare keys) in
+    let nkeys = Array.length keys in
+    if nkeys > 0 then begin
+      let cid = keys.(Drbg.int rng nkeys) in
+      check_read cs sh cid;
+      let data = pad (Printf.sprintf "epi:%03d:txn:%04d" cid i) in
+      Chunk_store.write cs cid data;
+      shadow_write sh cid data
+    end;
+    let c = Chunk_store.allocate cs in
+    let data = pad (Printf.sprintf "epinew:%04d" i) in
+    Chunk_store.write cs c data;
+    shadow_write sh c data;
+    if nkeys > 4 && Int.equal (Drbg.int rng 4) 0 then begin
+      let victim = keys.(Drbg.int rng nkeys) in
+      if Hashtbl.mem sh.model victim then begin
+        Chunk_store.deallocate cs victim;
+        shadow_dealloc sh victim
+      end
+    end;
+    (* All-durable: the epilogue exists to exercise the freshly-reopened
+       store's durable-commit path, counter increments included. *)
+    commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Oracles *)
+
+let add violations run kind detail = violations := { v_run = run; v_kind = kind; v_detail = detail } :: !violations
+
+(* Does the recovered store hold exactly the chunk state [st]?  Every id
+   ever used must either match [st] or be unreadable when absent from
+   [st]; a [Tamper_detected] anywhere is reported upward (honest runs must
+   never see one). *)
+let state_matches cs st all_cids =
+  Hashtbl.fold
+    (fun cid () acc ->
+      match acc with
+      | Error _ | Ok false -> acc
+      | Ok true -> (
+          match Hashtbl.find_opt st cid with
+          | Some want -> (
+              match Chunk_store.read cs cid with
+              | got -> Ok (String.equal got want)
+              | exception Types.Not_written _ -> Ok false
+              | exception Types.Not_allocated _ -> Ok false
+              | exception Types.Tamper_detected m -> Error m)
+          | None -> (
+              match Chunk_store.read cs cid with
+              | _ -> Ok false
+              | exception Types.Not_written _ -> Ok true
+              | exception Types.Not_allocated _ -> Ok true
+              | exception Types.Tamper_detected m -> Error m)))
+    all_cids (Ok true)
+
+(* Try every admissible boundary, newest first. *)
+let match_candidates cs sh =
+  let rec go d =
+    if d < sh.durable_lo then Error "recovered state matches no admissible commit boundary"
+    else
+      match Hashtbl.find_opt sh.states d with
+      | None -> go (d - 1)
+      | Some st -> (
+          match state_matches cs st sh.all_cids with
+          | Ok true -> Ok d
+          | Ok false -> go (d - 1)
+          | Error m -> Error ("tamper during state check: " ^ m))
+  in
+  go sh.issued
+
+(* Reopen after a crash and run the recovery oracles. Returns the reopened
+   store (with its counter) unless reopening itself failed. *)
+let reopen_and_check ~run ~violations ~env_db ~env_ctr ~secret ~sh ~hw_floor =
+  match
+    let ctr = OWC.open_store env_ctr in
+    let cs = Chunk_store.open_existing ~config:store_config ~secret ~counter:ctr env_db in
+    (ctr, cs)
+  with
+  | exception Types.Tamper_detected m -> add violations run "false-tamper" m; None
+  | exception Chunk_store.Recovery_failed m -> add violations run "recovery-failed" m; None
+  | exception e -> add violations run "recovery-exception" (Printexc.to_string e); None
+  | ctr, cs ->
+      let hw = OWC.read ctr in
+      if Int64.compare hw !hw_floor < 0 then
+        add violations run "counter-rollback" (Printf.sprintf "read %Ld, floor %Ld" hw !hw_floor);
+      if Int64.compare hw !hw_floor > 0 then hw_floor := hw;
+      (match match_candidates cs sh with
+      | Ok d -> shadow_reset_to sh d
+      | Error detail ->
+          add violations run "durability-violation" detail;
+          (* keep going from the live model so later oracles still run *)
+          shadow_base sh);
+      Some (ctr, cs)
+
+(* Post-recovery usability probe: the store must accept a write + durable
+   commit, serve it back, and keep its utilization accounting sane. *)
+let probe ~run ~violations ~cs ~sh ~cp_seen ~ctr ~hw_floor =
+  match
+    let c = Chunk_store.allocate cs in
+    let data = pad (Printf.sprintf "probe:%06d" c) in
+    Chunk_store.write cs c data;
+    shadow_write sh c data;
+    commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor;
+    let got = Chunk_store.read cs c in
+    if not (String.equal got data) then add violations run "probe-read-mismatch" (Printf.sprintf "chunk %d" c);
+    let u = Chunk_store.utilization cs in
+    if u < 0.0 || u > 1.0001 then add violations run "utilization-out-of-range" (Printf.sprintf "%f" u);
+    let live = Chunk_store.live_bytes cs and cap = Chunk_store.capacity cs in
+    if live < 0 || live > cap then
+      add violations run "accounting-inconsistent" (Printf.sprintf "live %d capacity %d" live cap)
+  with
+  | () -> ()
+  | exception e -> add violations run "probe-exception" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep driver *)
+
+type env = {
+  db_mem : US.Mem.handle;
+  db : US.t;  (* instrumented *)
+  ctr_mem : US.Mem.handle;
+  ctr_store : US.t;  (* instrumented *)
+  plan : Fault_plan.t;
+  secret : Tdb_platform.Secret_store.t;
+}
+
+let make_env () =
+  let plan = Fault_plan.create () in
+  let db_mem, db_raw = US.open_mem () in
+  let ctr_mem, ctr_raw = US.open_mem () in
+  {
+    db_mem;
+    db = Fault_plan.instrument plan db_raw;
+    ctr_mem;
+    ctr_store = Fault_plan.instrument plan ctr_raw;
+    plan;
+    secret = Tdb_platform.Secret_store.of_seed "crashfuzz-device";
+  }
+
+let persist_probs = [| 0.0; 1.0; 0.5; 0.25; 0.75; 0.1; 0.9; 0.35 |]
+let tears = [| Fault_plan.Skip; Fault_plan.Torn; Fault_plan.Applied |]
+
+(* Run the trace once with the plan armed past the horizon to count the
+   write/sync boundaries of the armed region. *)
+let record_boundaries ~trace =
+  let env = make_env () in
+  let sh = shadow_create () in
+  let rng = Drbg.create ~seed:(trace.seed ^ ":trace") in
+  let ctr = OWC.open_store env.ctr_store in
+  let cs = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr env.db in
+  shadow_base sh;
+  Fault_plan.arm env.plan ~at:max_int ~tear:Fault_plan.Skip;
+  let hw_floor = ref (OWC.read ctr) in
+  run_phase_a ~trace ~cs ~sh ~rng ~cp_seen:(ref 0) ~ctr ~hw_floor;
+  let n = Fault_plan.ops env.plan in
+  Fault_plan.reset env.plan;
+  Chunk_store.close cs;
+  n
+
+(* One sweep cell: crash phase A at boundary [k], recover under the
+   seeded persistence subset, then run the epilogue with a second seeded
+   crashpoint and recover again. *)
+let one_run ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
+  let env = make_env () in
+  let sh = shadow_create () in
+  let trace_rng = Drbg.create ~seed:(trace.seed ^ ":trace") in
+  let fault_rng = Drbg.create ~seed:(Printf.sprintf "%s:fault:%d:%d" trace.seed k seed_idx) in
+  let persist_prob = persist_probs.(seed_idx mod Array.length persist_probs) in
+  let crash_rng n = Drbg.int fault_rng n in
+  let run = Printf.sprintf "k=%d seed=%d" k seed_idx in
+  let ctr0 = OWC.open_store env.ctr_store in
+  let cs0 = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr0 env.db in
+  shadow_base sh;
+  let hw_floor = ref (OWC.read ctr0) in
+  let cp_seen = ref 0 in
+  Fault_plan.arm env.plan ~at:k ~tear:tears.(Drbg.int fault_rng (Array.length tears));
+  let finish_on cs ctr cp_seen = probe ~run:(run ^ ":probe") ~violations ~cs ~sh ~cp_seen ~ctr ~hw_floor; Chunk_store.close cs in
+  let crash_and_check ~phase =
+    Fault_plan.reset env.plan;
+    US.Mem.crash ~persist_prob ~rng:crash_rng env.db_mem;
+    US.Mem.crash ~persist_prob ~rng:crash_rng env.ctr_mem;
+    let r =
+      reopen_and_check ~run:(run ^ ":" ^ phase) ~violations ~env_db:env.db ~env_ctr:env.ctr_store
+        ~secret:env.secret ~sh ~hw_floor
+    in
+    if Option.is_some r then incr recoveries;
+    r
+  in
+  match run_phase_a ~trace ~cs:cs0 ~sh ~rng:trace_rng ~cp_seen ~ctr:ctr0 ~hw_floor with
+  | () ->
+      (* crashpoint beyond the trace: close cleanly and verify the full state *)
+      Fault_plan.reset env.plan;
+      Chunk_store.close cs0;
+      shadow_base sh;
+      (match
+         reopen_and_check ~run:(run ^ ":clean") ~violations ~env_db:env.db ~env_ctr:env.ctr_store
+           ~secret:env.secret ~sh ~hw_floor
+       with
+      | Some (ctr, cs) -> finish_on cs ctr (ref 0)
+      | None -> ())
+  | exception Harness_violation (kind, detail) -> add violations run kind detail
+  | exception Fault_plan.Crash_point -> (
+      incr crashes;
+      match crash_and_check ~phase:"A" with
+      | None -> ()
+      | Some (ctr1, cs1) -> (
+          let cp_seen1 = ref 0 in
+          (* Odd seeds focus the second crashpoint on the start of the
+             epilogue with a torn tear: the first durable commit after a
+             reopen is where the counter's slot-targeting protocol is most
+             exposed (a fresh handle has not yet written either slot). *)
+          let counter_focus = Int.equal (seed_idx land 1) 1 in
+          let k2 = Drbg.int fault_rng (if counter_focus then 24 else 120) in
+          let tear2 =
+            if counter_focus then Fault_plan.Torn else tears.(Drbg.int fault_rng (Array.length tears))
+          in
+          Fault_plan.arm env.plan ~at:k2 ~tear:tear2;
+          match run_epilogue ~trace ~cs:cs1 ~sh ~rng:trace_rng ~cp_seen:cp_seen1 ~ctr:ctr1 ~hw_floor with
+          | () -> (
+              Fault_plan.reset env.plan;
+              Chunk_store.close cs1;
+              shadow_base sh;
+              match
+                reopen_and_check ~run:(run ^ ":B-clean") ~violations ~env_db:env.db ~env_ctr:env.ctr_store
+                  ~secret:env.secret ~sh ~hw_floor
+              with
+              | Some (ctr, cs) -> finish_on cs ctr (ref 0)
+              | None -> ())
+          | exception Harness_violation (kind, detail) -> add violations (run ^ ":B") kind detail
+          | exception Fault_plan.Crash_point -> (
+              incr crashes;
+              match crash_and_check ~phase:"B" with
+              | Some (ctr, cs) -> finish_on cs ctr (ref 0)
+              | None -> ())
+          | exception e -> add violations (run ^ ":B") "workload-exception" (Printexc.to_string e)))
+  | exception e -> add violations run "workload-exception" (Printexc.to_string e)
+
+let sweep_crashpoints ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
+  let boundaries = record_boundaries ~trace in
+  let violations = ref [] in
+  let runs = ref 0 and crashes = ref 0 and recoveries = ref 0 and crashpoints = ref 0 in
+  let k = ref 0 in
+  while !k < boundaries do
+    progress !k boundaries;
+    incr crashpoints;
+    for seed_idx = 0 to seeds - 1 do
+      incr runs;
+      one_run ~trace ~violations ~crashes ~recoveries ~k:!k ~seed_idx
+    done;
+    k := !k + stride
+  done;
+  {
+    boundaries;
+    crashpoints = !crashpoints;
+    seeds;
+    runs = !runs;
+    crashes = !crashes;
+    recoveries = !recoveries;
+    violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tamper sweep *)
+
+let sweep_tamper ?(stride = 7) ?(mask = 0x10) ~trace () =
+  let env = make_env () in
+  let sh = shadow_create () in
+  let rng = Drbg.create ~seed:(trace.seed ^ ":trace") in
+  let ctr = OWC.open_store env.ctr_store in
+  let cs = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr env.db in
+  shadow_base sh;
+  let hw_floor = ref (OWC.read ctr) in
+  run_phase_a ~trace ~cs ~sh ~rng ~cp_seen:(ref 0) ~ctr ~hw_floor;
+  Chunk_store.close cs;
+  shadow_base sh;
+  let db0 = US.Mem.snapshot env.db_mem in
+  let ctr0 = US.Mem.snapshot env.ctr_mem in
+  let image_bytes = Bytes.length db0 in
+  let detected = ref 0 and harmless = ref 0 and silent = ref 0 in
+  let silent_offs = ref [] in
+  let flips = ref 0 in
+  let off = ref 0 in
+  while !off < image_bytes do
+    incr flips;
+    US.Mem.corrupt env.db_mem ~off:!off ~len:1 ~mask;
+    (match
+       let c2 = OWC.open_store env.ctr_store in
+       Chunk_store.open_existing ~config:store_config ~secret:env.secret ~counter:c2 env.db
+     with
+    | exception Types.Tamper_detected _ -> incr detected
+    | exception Chunk_store.Recovery_failed _ -> incr detected
+    | cs2 -> (
+        match state_matches cs2 (Hashtbl.copy sh.model) sh.all_cids with
+        | Ok true -> incr harmless
+        | Ok false ->
+            incr silent;
+            silent_offs := !off :: !silent_offs
+        | Error _ -> incr detected));
+    US.Mem.restore env.db_mem db0;
+    US.Mem.restore env.ctr_mem ctr0;
+    off := !off + stride
+  done;
+  {
+    image_bytes;
+    flips = !flips;
+    detected = !detected;
+    harmless = !harmless;
+    silent = !silent;
+    silent_offsets = List.rev !silent_offs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON summary *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_summary ~trace ~(crash : crash_report) ~(tamper : tamper_report) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"trace\": {\"seed\": \"%s\", \"txns\": %d, \"accounts\": %d, \"tellers\": %d, \"branches\": %d},\n"
+       (json_escape trace.seed) trace.txns trace.accounts trace.tellers trace.branches);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"crash\": {\"boundaries\": %d, \"crashpoints\": %d, \"seeds\": %d, \"runs\": %d, \"crashes\": %d, \"recoveries\": %d, \"violations\": ["
+       crash.boundaries crash.crashpoints crash.seeds crash.runs crash.crashes crash.recoveries);
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"run\": \"%s\", \"kind\": \"%s\", \"detail\": \"%s\"}" (json_escape v.v_run)
+           (json_escape v.v_kind) (json_escape v.v_detail)))
+    crash.violations;
+  Buffer.add_string b "]},\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"tamper\": {\"image_bytes\": %d, \"flips\": %d, \"detected\": %d, \"harmless\": %d, \"silent\": %d}\n"
+       tamper.image_bytes tamper.flips tamper.detected tamper.harmless tamper.silent);
+  Buffer.add_string b "}";
+  Buffer.contents b

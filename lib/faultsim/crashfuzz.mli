@@ -1,0 +1,58 @@
+(** Crashpoint sweep harness: replay a deterministic TPC-B-style chunk
+    workload, crash it at every write/sync boundary (database store and
+    one-way-counter store alike) under seeded subsets of surviving unsynced
+    writes, reopen, and check invariant oracles against a shadow model —
+    plus a bit-flip tamper sweep over the committed image. See DESIGN.md,
+    "Crash model", for the admissibility rule the oracles enforce. *)
+
+type trace_cfg = {
+  accounts : int;
+  tellers : int;
+  branches : int;
+  txns : int;
+  durable_every : int;  (** every n-th transaction commits durably *)
+  history_keep : int;  (** history chunks retained before deallocation *)
+  epilogue_txns : int;  (** post-recovery phase-B transactions *)
+  seed : string;
+}
+
+val default_trace : trace_cfg
+val smoke_trace : trace_cfg
+
+type violation = { v_run : string; v_kind : string; v_detail : string }
+
+type crash_report = {
+  boundaries : int;  (** write/sync boundaries in the recorded trace *)
+  crashpoints : int;  (** boundaries actually swept (stride) *)
+  seeds : int;
+  runs : int;
+  crashes : int;
+  recoveries : int;
+  violations : violation list;  (** empty on a healthy implementation *)
+}
+
+type tamper_report = {
+  image_bytes : int;
+  flips : int;
+  detected : int;
+  harmless : int;
+  silent : int;  (** must be 0: a flip produced wrong data undetected *)
+  silent_offsets : int list;
+}
+
+val sweep_crashpoints :
+  ?progress:(int -> int -> unit) -> trace:trace_cfg -> seeds:int -> stride:int -> unit -> crash_report
+(** Record the trace's boundary count [n], then for every [k < n] (step
+    [stride]) and every seed: crash phase A at boundary [k], recover and
+    check oracles, run the epilogue with a second seeded crashpoint,
+    recover and check again, then probe usability. [progress] is called
+    with [(k, n)] before each crashpoint. *)
+
+val sweep_tamper : ?stride:int -> ?mask:int -> trace:trace_cfg -> unit -> tamper_report
+(** Build a committed image from the trace, then XOR [mask] into every
+    [stride]-th byte (one at a time): each flip must be detected
+    ([Tamper_detected] / [Recovery_failed]) or harmless (all reads return
+    the original values) — never silently wrong data. *)
+
+val json_summary : trace:trace_cfg -> crash:crash_report -> tamper:tamper_report -> string
+(** Machine-readable summary for the [tdb_crashfuzz] CLI. *)

@@ -1,0 +1,83 @@
+(** Deterministic crashpoint injection.
+
+    A fault plan counts the write/sync boundaries of every store it
+    instruments (several stores — e.g. the database image and the one-way
+    counter file emulation — may share one plan, so their boundaries
+    interleave into a single global sequence, exactly as the devices of one
+    machine share one power supply). Arming the plan at boundary [k] makes
+    the k-th mutating operation raise {!Crash_point} instead of executing;
+    what happens to that very operation is governed by the {!tear} mode:
+
+    - {!Skip}: the operation never reaches the medium (classic power cut);
+    - {!Torn}: a write lands only its first half — a torn sector, the case
+      recovery code most often forgets;
+    - {!Applied}: the operation completes and the crash hits immediately
+      after it (e.g. after a sync, before the counter increment).
+
+    After the crash every further operation raises {!Crash_point} too (the
+    machine is down) until {!reset}. Combining an armed plan with
+    {!Tdb_platform.Untrusted_store.Mem.crash}'s seeded partial persistence
+    of unsynced writes yields the full sweep space: crash at every boundary
+    x every subset of surviving cached writes. *)
+
+exception Crash_point
+
+type tear = Skip | Torn | Applied
+
+type t = {
+  mutable ops : int; (* boundaries seen since the last arm/reset *)
+  mutable armed : bool;
+  mutable crash_at : int;
+  mutable tear : tear;
+  mutable crashed : bool;
+}
+
+let create () = { ops = 0; armed = false; crash_at = 0; tear = Skip; crashed = false }
+
+let arm t ~(at : int) ~(tear : tear) : unit =
+  t.ops <- 0;
+  t.armed <- true;
+  t.crash_at <- at;
+  t.tear <- tear;
+  t.crashed <- false
+
+let reset t : unit =
+  t.ops <- 0;
+  t.armed <- false;
+  t.crashed <- false
+
+let ops t = t.ops
+let crashed t = t.crashed
+
+let instrument (p : t) (s : Tdb_platform.Untrusted_store.t) : Tdb_platform.Untrusted_store.t =
+  (* The tear modes need the operation's payload, so the hook re-issues the
+     (possibly truncated) operation against the underlying store before
+     raising; the wrapper itself never runs the original call on a crash. *)
+  let underlying = s in
+  let before (op : Tdb_platform.Untrusted_store.op) =
+    if p.crashed then raise Crash_point;
+    if p.armed && Int.equal p.ops p.crash_at then begin
+      p.crashed <- true;
+      (match (p.tear, op) with
+      | Skip, _ -> ()
+      | Torn, Tdb_platform.Untrusted_store.Op_write { off; data } ->
+          (* Half-programmed sector: the first half holds the new bytes,
+             the rest garbage — neither the old nor the new content. *)
+          let len = String.length data in
+          let half = len / 2 in
+          if len > 0 then
+            Tdb_platform.Untrusted_store.write underlying ~off
+              (String.sub data 0 half ^ String.make (len - half) '\xA5')
+      | Torn, Tdb_platform.Untrusted_store.Op_set_size n ->
+          Tdb_platform.Untrusted_store.set_size underlying n
+      | Torn, Tdb_platform.Untrusted_store.Op_sync -> ()
+      | Applied, Tdb_platform.Untrusted_store.Op_write { off; data } ->
+          Tdb_platform.Untrusted_store.write underlying ~off data
+      | Applied, Tdb_platform.Untrusted_store.Op_set_size n ->
+          Tdb_platform.Untrusted_store.set_size underlying n
+      | Applied, Tdb_platform.Untrusted_store.Op_sync -> Tdb_platform.Untrusted_store.sync underlying);
+      raise Crash_point
+    end;
+    p.ops <- p.ops + 1
+  in
+  Tdb_platform.Untrusted_store.interpose ~before s

@@ -1,0 +1,39 @@
+(** Deterministic crashpoint injection over {!Tdb_platform.Untrusted_store}
+    wrappers.
+
+    A plan counts write/sync boundaries across {e all} stores it instruments
+    (they share one global sequence, like devices sharing one power supply)
+    and, when armed, raises {!Crash_point} at the chosen boundary. Sweep
+    usage: run the workload once with the plan armed at [max_int] to record
+    the boundary count [n], then re-run armed at each [k < n]. *)
+
+exception Crash_point
+(** Raised by an instrumented store at (and after) the armed boundary. *)
+
+(** What happens to the operation at the crash boundary itself. *)
+type tear =
+  | Skip  (** the operation never reaches the medium *)
+  | Torn  (** a write persists only its first half (torn sector) *)
+  | Applied  (** the operation completes, then the crash hits *)
+
+type t
+
+val create : unit -> t
+(** A disarmed plan: counts nothing, never crashes. *)
+
+val arm : t -> at:int -> tear:tear -> unit
+(** Reset the boundary counter to zero and crash at boundary [at]
+    (0-based). [at = max_int] records boundaries without crashing. *)
+
+val reset : t -> unit
+(** Disarm after a crash so recovery can run against the instrumented
+    stores; also zeroes the boundary counter. *)
+
+val ops : t -> int
+(** Boundaries seen since the last {!arm}/{!reset}. *)
+
+val crashed : t -> bool
+
+val instrument : t -> Tdb_platform.Untrusted_store.t -> Tdb_platform.Untrusted_store.t
+(** Wrap a store so its mutating operations hit this plan's boundary
+    counter. Reads pass through untouched. *)

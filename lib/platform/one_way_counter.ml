@@ -35,10 +35,12 @@ let open_mem ?(initial = 0L) () : Mem.handle * t =
           h.Mem.v);
     } )
 
-(** File-backed counter. The value is stored with a checksum in two slots
-    written alternately, so a torn write of one slot never loses
+(** Counter emulated on top of an untrusted byte store (the paper stores it
+    "as a file on the same NTFS partition"; tests and the fault-injection
+    harness run it over an in-memory store). The value is stored with a
+    checksum in two slots, so a torn write of one slot never loses
     monotonicity: on read we take the highest valid slot. *)
-let open_file (path : string) : t =
+let open_store (store : Untrusted_store.t) : t =
   let checksum v = String.sub (Tdb_crypto.Sha256.digest (Printf.sprintf "owc:%Ld" v)) 0 8 in
   let encode v = Printf.sprintf "%020Ld:%s" v (Tdb_crypto.Hex.of_string (checksum v)) in
   let slot_len = String.length (encode 0L) in
@@ -55,39 +57,52 @@ let open_file (path : string) : t =
             Some v
         | _ -> None )
   in
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o600 in
-  let read_slots () =
-    let sz = (Unix.fstat fd).Unix.st_size in
-    if sz < 2 * slot_len then []
+  (* Per-slot view: which value (if any) each slot currently holds. *)
+  let slot_values () : int64 option * int64 option =
+    let sz = Untrusted_store.size store in
+    if sz < 2 * slot_len then (None, None)
     else begin
-      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-      let buf = Bytes.create (2 * slot_len) in
-      let rec fill pos = if pos < Bytes.length buf then fill (pos + Unix.read fd buf pos (Bytes.length buf - pos)) in
-      fill 0;
-      List.filter_map decode [ Bytes.sub_string buf 0 slot_len; Bytes.sub_string buf slot_len slot_len ]
+      let buf = Untrusted_store.read store ~off:0 ~len:(2 * slot_len) in
+      (decode (Bytes.sub_string buf 0 slot_len), decode (Bytes.sub_string buf slot_len slot_len))
     end
   in
-  let current () = List.fold_left max 0L (read_slots ()) in
+  let current () =
+    match slot_values () with
+    | None, None -> 0L
+    | Some v, None | None, Some v -> v
+    | Some a, Some b -> if Int64.compare a b >= 0 then a else b
+  in
   let write_slot i v =
-    ignore (Unix.lseek fd (i * slot_len) Unix.SEEK_SET);
-    let s = encode v in
-    let b = Bytes.of_string s in
-    let rec drain pos = if pos < Bytes.length b then drain (pos + Unix.write fd b pos (Bytes.length b - pos)) in
-    drain 0;
-    Unix.fsync fd
+    Untrusted_store.write store ~off:(i * slot_len) (encode v);
+    Untrusted_store.sync store
   in
   (* Initialize both slots if empty. *)
-  if read_slots () = [] then begin
-    write_slot 0 0L;
-    write_slot 1 0L
-  end;
-  let next_slot = ref 0 in
+  (match slot_values () with
+  | None, None ->
+      write_slot 0 0L;
+      write_slot 1 0L
+  | _ -> ());
   {
     read = current;
     increment =
       (fun () ->
+        (* Always write the slot NOT holding the current maximum: if the
+           write tears, the surviving slot still holds the pre-increment
+           value and the counter stays monotone. (Alternating slots blindly
+           would, after a reopen, overwrite the max-holding slot and let a
+           torn write roll the counter back.) *)
+        let v0, v1 = slot_values () in
         let v = Int64.add (current ()) 1L in
-        write_slot !next_slot v;
-        next_slot := 1 - !next_slot;
+        let target =
+          match (v0, v1) with
+          | None, _ -> 0
+          | _, None -> 1
+          | Some a, Some b -> if Int64.compare a b >= 0 then 1 else 0
+        in
+        write_slot target v;
         v);
   }
+
+(** File-backed counter (paper Section 7.2), via {!open_store} over a
+    file-backed untrusted store. *)
+let open_file (path : string) : t = open_store (Untrusted_store.open_file path)

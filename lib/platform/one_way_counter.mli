@@ -20,4 +20,14 @@ module Mem : sig
 end
 
 val open_mem : ?initial:int64 -> unit -> Mem.handle * t
+
+val open_store : Untrusted_store.t -> t
+(** Counter emulated over an untrusted byte store: the value sits in two
+    checksummed slots; each increment writes the slot {e not} holding the
+    current maximum and syncs, so a torn slot write never rolls the counter
+    back. The fault-injection harness instruments this store to crash the
+    counter protocol at every write/sync boundary. *)
+
 val open_file : string -> t
+(** {!open_store} over a file-backed store — the paper's NTFS-file
+    emulation (Section 7.2). *)

@@ -41,6 +41,31 @@ let sync t = t.sync ()
 let close t = t.close ()
 let stats t = t.stats
 
+(** A mutating operation about to hit the store, as seen by an
+    {!interpose} hook. *)
+type op = Op_write of { off : int; data : string } | Op_set_size of int | Op_sync
+
+(** Wrap a store so [before] observes every mutating operation at its
+    write/sync boundary, before it reaches the underlying store. The hook
+    may raise to model a crash arrested exactly at that boundary (the
+    fault-injection harness does); reads pass through untouched. *)
+let interpose ~(before : op -> unit) (s : t) : t =
+  {
+    s with
+    write =
+      (fun ~off data ->
+        before (Op_write { off; data });
+        s.write ~off data);
+    set_size =
+      (fun n ->
+        before (Op_set_size n);
+        s.set_size n);
+    sync =
+      (fun () ->
+        before Op_sync;
+        s.sync ());
+  }
+
 (* ------------------------------------------------------------------ *)
 (* In-memory store with crash and tamper injection                     *)
 (* ------------------------------------------------------------------ *)

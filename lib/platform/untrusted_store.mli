@@ -47,6 +47,19 @@ val sync : t -> unit
 val close : t -> unit
 val stats : t -> stats
 
+(** {1 Fault-plan hook} *)
+
+type op = Op_write of { off : int; data : string } | Op_set_size of int | Op_sync
+(** A mutating operation about to hit the store. [Op_write] carries the
+    payload so a hook can model a torn write (persist a prefix, then
+    crash). *)
+
+val interpose : before:(op -> unit) -> t -> t
+(** Wrap a store so [before] observes every mutating operation at its
+    write/sync boundary, before it executes. The hook may raise to model a
+    crash arrested exactly at that boundary (see {!Tdb_faultsim.Fault_plan});
+    reads pass through untouched. *)
+
 (** {1 In-memory store with fault injection} *)
 
 module Mem : sig
