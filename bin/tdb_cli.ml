@@ -139,9 +139,73 @@ let restore_cmd =
     (Cmd.info "restore" ~doc:"Restore a database from validated backups (newest, or --upto N).")
     Term.(const run $ src $ dst $ upto)
 
+(* --- client mode: talk to a running tdb_server --- *)
+
+let addr_term =
+  let socket =
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to a Unix-domain socket at $(docv).")
+  in
+  let port =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"Connect to TCP $(docv).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Numeric address for --port.")
+  in
+  let build socket port host =
+    match (socket, port) with
+    | Some path, None -> `Ok (Tdb.Server.Unix_path path)
+    | None, Some p -> `Ok (Tdb.Server.Tcp (host, p))
+    | None, None -> `Error (false, "one of --socket or --port is required")
+    | Some _, Some _ -> `Error (false, "--socket and --port are mutually exclusive")
+  in
+  Term.(ret (const build $ socket $ port $ host))
+
+let with_client addr f =
+  match Tdb.Client.connect addr with
+  | c ->
+      Fun.protect ~finally:(fun () -> Tdb.Client.close c) (fun () -> f c)
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.printf "cannot connect: %s\n" (Unix.error_message e);
+      exit 2
+
+let remote_status_cmd =
+  let run addr =
+    with_client addr (fun c ->
+        let s = Tdb.Client.stats c in
+        Printf.printf "sessions:        %d live, %d total\n" s.Tdb.Proto.s_sessions s.Tdb.Proto.s_sessions_total;
+        Printf.printf "transactions:    %d committed, %d aborted\n" s.Tdb.Proto.s_committed s.Tdb.Proto.s_aborted;
+        Printf.printf "chunk commits:   %d (%d durable)\n" s.Tdb.Proto.s_commits s.Tdb.Proto.s_durable_commits;
+        Printf.printf "one-way counter: %Ld\n" s.Tdb.Proto.s_counter;
+        Printf.printf "group commit:    %d barriers covering %d commits\n" s.Tdb.Proto.s_gc_batches
+          s.Tdb.Proto.s_gc_coalesced)
+  in
+  Cmd.v
+    (Cmd.info "remote-status" ~doc:"Print a running server's session, commit and group-commit counters.")
+    Term.(const run $ addr_term)
+
+let remote_balance_cmd =
+  let account = Arg.(required & pos 0 (some int) None & info [] ~docv:"ACCOUNT" ~doc:"Account id.") in
+  let run addr account =
+    with_client addr (fun c ->
+        Tdb.Client.with_txn ~durable:false c (fun () ->
+            match
+              Tdb.Client.coll_find c ~coll:"account" ~index:"id" Tdb.Gkey.int account
+                Tdb_tpcb.Workload.account_cls
+            with
+            | Some (oid, r) ->
+                Printf.printf "account %d (oid %d): balance %d\n" account oid r.Tdb_tpcb.Workload.balance
+            | None ->
+                Printf.printf "no account %d\n" account;
+                exit 1))
+  in
+  Cmd.v
+    (Cmd.info "remote-balance" ~doc:"Look up an account balance on a running server (demo schema).")
+    Term.(const run $ addr_term $ account)
+
 let () =
   let doc = "TDB: a trusted database system for Digital Rights Management" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tdb" ~doc ~version:"0.1.0")
-          [ init_cmd; status_cmd; verify_cmd; clean_cmd; backup_cmd; restore_cmd ]))
+          [ init_cmd; status_cmd; verify_cmd; clean_cmd; backup_cmd; restore_cmd;
+            remote_status_cmd; remote_balance_cmd ]))

@@ -14,6 +14,7 @@ let () =
   let mask = ref 0x10 in
   let json = ref false in
   let quiet = ref false in
+  let no_gc = ref false in
   let seed = ref Tdb_faultsim.Crashfuzz.default_trace.Tdb_faultsim.Crashfuzz.seed in
   let spec =
     [
@@ -23,6 +24,7 @@ let () =
       ("--tamper-stride", Arg.Set_int tamper_stride, "N  bit-flip every N-th image byte (default 7)");
       ("--mask", Arg.Set_int mask, "M  XOR mask for the tamper sweep (default 0x10)");
       ("--seed", Arg.Set_string seed, "S  trace seed (default tdb-crashfuzz)");
+      ("--no-group-commit", Arg.Set no_gc, "  skip the group-commit (staged barrier) sweep");
       ("--json", Arg.Set json, "  emit the JSON summary on stdout");
       ("--quiet", Arg.Set quiet, "  no progress output");
     ]
@@ -34,22 +36,42 @@ let () =
   let progress k n = if not !quiet then Printf.eprintf "\rcrashpoint %d/%d%!" k n in
   let crash = Tdb_faultsim.Crashfuzz.sweep_crashpoints ~progress ~trace ~seeds:!seeds ~stride:!stride () in
   if not !quiet then Printf.eprintf "\rcrash sweep done: %d runs over %d boundaries\n%!" crash.runs crash.boundaries;
+  let gc =
+    if !no_gc then None
+    else begin
+      let r = Tdb_faultsim.Crashfuzz.sweep_group_commit ~progress ~trace ~seeds:!seeds ~stride:!stride () in
+      if not !quiet then
+        Printf.eprintf "\rgroup-commit sweep done: %d runs over %d boundaries\n%!" r.runs r.boundaries;
+      Some r
+    end
+  in
   let tamper = Tdb_faultsim.Crashfuzz.sweep_tamper ~stride:!tamper_stride ~mask:!mask ~trace () in
   if not !quiet then
     Printf.eprintf "tamper sweep done: %d flips (%d detected, %d harmless)\n%!" tamper.flips tamper.detected
       tamper.harmless;
-  if !json then print_endline (Tdb_faultsim.Crashfuzz.json_summary ~trace ~crash ~tamper)
+  let gc_violations = match gc with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
+  if !json then print_endline (Tdb_faultsim.Crashfuzz.json_summary ?group_commit:gc ~trace ~crash ~tamper ())
   else begin
     Printf.printf "boundaries=%d crashpoints=%d seeds=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
       crash.boundaries crash.crashpoints crash.seeds crash.runs crash.crashes crash.recoveries
       (List.length crash.violations);
+    (match gc with
+    | None -> ()
+    | Some r ->
+        Printf.printf
+          "group-commit: boundaries=%d crashpoints=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
+          r.Tdb_faultsim.Crashfuzz.boundaries r.Tdb_faultsim.Crashfuzz.crashpoints
+          r.Tdb_faultsim.Crashfuzz.runs r.Tdb_faultsim.Crashfuzz.crashes r.Tdb_faultsim.Crashfuzz.recoveries
+          (List.length r.Tdb_faultsim.Crashfuzz.violations));
     Printf.printf "tamper: flips=%d detected=%d harmless=%d silent=%d\n" tamper.flips tamper.detected
       tamper.harmless tamper.silent;
     List.iter
       (fun v ->
         Printf.printf "VIOLATION %s %s: %s\n" v.Tdb_faultsim.Crashfuzz.v_run v.Tdb_faultsim.Crashfuzz.v_kind
           v.Tdb_faultsim.Crashfuzz.v_detail)
-      crash.violations
+      (crash.violations @ gc_violations)
   end;
-  let bad = (match crash.violations with [] -> false | _ :: _ -> true) || tamper.silent > 0 in
+  let bad =
+    (match crash.violations @ gc_violations with [] -> false | _ :: _ -> true) || tamper.silent > 0
+  in
   exit (if bad then 1 else 0)

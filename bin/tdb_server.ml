@@ -1,0 +1,92 @@
+(* tdb_server — serve a TDB database directory over a socket.
+
+   The served schema is the repo's demo application schema (the TPC-B
+   tables from lib/tpcb): collections account/teller/branch of balance
+   records with a unique hash index on id and an "add" mutation, plus the
+   append-only history collection. Raw typed object and root operations
+   are exposed for the same classes. *)
+
+open Cmdliner
+
+let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Database directory.")
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP $(docv) (loopback).")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Numeric address to bind with --port.")
+
+let fresh_arg = Arg.(value & flag & info [ "fresh" ] ~doc:"Create a fresh database (overwrites any existing one).")
+
+let no_gc_arg =
+  Arg.(value & flag & info [ "no-group-commit" ] ~doc:"Commit each session's durable commits individually.")
+
+let idle_arg =
+  Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc:"Drop sessions idle longer than $(docv) (0 = never).")
+
+let record_indexers () : Tdb_tpcb.Workload.record Tdb.Indexer.generic list =
+  [ Tdb.Indexer.Generic
+      (Tdb.Indexer.make ~name:"id" ~key:Tdb.Gkey.int
+         ~extract:(fun (r : Tdb_tpcb.Workload.record) -> r.Tdb_tpcb.Workload.id)
+         ~unique:true ~impl:Tdb.Indexer.Hash ()) ]
+
+let history_indexers () : Tdb_tpcb.Workload.history Tdb.Indexer.generic list =
+  [ Tdb.Indexer.Generic
+      (Tdb.Indexer.make ~name:"id" ~key:Tdb.Gkey.int
+         ~extract:(fun (h : Tdb_tpcb.Workload.history) -> h.Tdb_tpcb.Workload.h_id)
+         ~unique:false ~impl:Tdb.Indexer.List ()) ]
+
+let add_mutation (r : Tdb_tpcb.Workload.record) (rd : Tdb.Pickle.reader) : unit =
+  r.Tdb_tpcb.Workload.balance <- r.Tdb_tpcb.Workload.balance + Tdb.Pickle.read_int rd
+
+(** Expose the demo schema on [srv]. *)
+let expose_demo_schema (srv : Tdb.Server.t) : unit =
+  List.iter
+    (fun (name, schema) ->
+      Tdb.Server.expose_collection srv ~name ~schema ~indexers:(record_indexers ())
+        ~mutations:[ ("add", add_mutation) ] ())
+    [
+      ("account", Tdb_tpcb.Workload.account_cls);
+      ("teller", Tdb_tpcb.Workload.teller_cls);
+      ("branch", Tdb_tpcb.Workload.branch_cls);
+    ];
+  Tdb.Server.expose_collection srv ~name:"history" ~schema:Tdb_tpcb.Workload.history_cls
+    ~indexers:(history_indexers ()) ()
+
+let serve_cmd =
+  let run dir socket port host fresh no_gc idle_timeout =
+    let addr =
+      match (socket, port) with
+      | Some path, None -> Tdb.Server.Unix_path path
+      | None, Some p -> Tdb.Server.Tcp (host, p)
+      | None, None -> Tdb.Server.Unix_path (Filename.concat dir "tdb.sock")
+      | Some _, Some _ ->
+          prerr_endline "tdb_server: --socket and --port are mutually exclusive";
+          exit 2
+    in
+    let device = Tdb.Device.at_dir dir in
+    let db = if fresh then Tdb.create device else Tdb.open_existing device in
+    let config =
+      { Tdb.Server.default_config with Tdb.Server.group_commit = not no_gc; idle_timeout }
+    in
+    let srv = Tdb.Server.create ~config db.Tdb.objects addr in
+    expose_demo_schema srv;
+    (match addr with
+    | Tdb.Server.Unix_path p -> Printf.printf "tdb_server: listening on %s" p
+    | Tdb.Server.Tcp (h, _) -> Printf.printf "tdb_server: listening on %s:%d" h (Tdb.Server.port srv));
+    Printf.printf " (group commit %s, idle timeout %s)\n%!"
+      (if no_gc then "off" else "on")
+      (if idle_timeout > 0. then Printf.sprintf "%.0fs" idle_timeout else "off");
+    Tdb.Server.serve srv;
+    Tdb.close db
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve a database over a Unix-domain or TCP socket.")
+    Term.(const run $ dir_arg $ socket_arg $ port_arg $ host_arg $ fresh_arg $ no_gc_arg $ idle_arg)
+
+let () =
+  let doc = "TDB network service: sessions, transactions and group commit over a socket" in
+  exit (Cmd.eval (Cmd.group ~default:Term.(ret (const (`Help (`Pager, None)))) (Cmd.info "tdb_server" ~doc ~version:"0.1.0") [ serve_cmd ]))

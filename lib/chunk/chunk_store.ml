@@ -519,6 +519,73 @@ let commit ?(durable = true) t : unit =
     end
   end
 
+(** Durable barrier without a batch: an empty durable commit record that
+    forces the log and advances the one-way counter, promoting every
+    nondurable commit before it to durable (recovery keeps the prefix up
+    to the last durable commit). This is the group-commit hook: many
+    transactions commit nondurably, then one barrier makes them all
+    durable at the cost of a single sync + counter bump. *)
+type barrier_token = {
+  bt_counter : int64;  (** counter value the barrier's commit record claims *)
+  bt_eligible : (int, unit) Hashtbl.t;  (** segments reclaimable once the barrier is durable *)
+}
+
+(** First stage: append the empty durable commit record and pre-advance
+    the counter expectation. Must run under the store's state lock. The
+    eligible-segment snapshot is taken here: commits that land while the
+    sync stage runs (outside the lock) sit {e after} this record in the
+    log, are not covered by this barrier, and may not have their garbage
+    reclaimed by it. *)
+let barrier_begin t : barrier_token =
+  if Hashtbl.length t.pending > 0 then
+    invalid_arg "Chunk_store.durable_barrier: commit or abort the batch first";
+  ensure_free t ~segs:2;
+  t.seq <- t.seq + 1;
+  if t.sec.Security.enabled then t.last_counter <- Int64.add t.last_counter 1L;
+  append_commit_record t
+    { c_seq = t.seq; c_kind = App { durable = true }; c_counter = t.last_counter; c_writes = []; c_deallocs = [] };
+  t.stats.commits <- t.stats.commits + 1;
+  { bt_counter = t.last_counter; bt_eligible = Log.zero_usage_segments t.log }
+
+(** Second stage: the physical wait — force the store and bump the
+    hardware counter. Safe to run {e without} the state lock provided no
+    other durable commit or barrier is in flight (the group-commit
+    coordinator's single-leader rule): nondurable commits may append
+    concurrently, and the records they add land after the barrier record,
+    so durability of the prefix is unaffected. *)
+let barrier_sync t (tok : barrier_token) : unit =
+  Tdb_platform.Untrusted_store.sync t.store;
+  if t.sec.Security.enabled then begin
+    let hw = Tdb_platform.One_way_counter.increment t.counter in
+    if not (Int64.equal hw tok.bt_counter) then
+      tamper "one-way counter advanced externally (%Ld, expected %Ld)" hw tok.bt_counter
+  end
+
+(** Third stage: reclaim space and account. Back under the state lock.
+    Reclamation is restricted to the begin-time snapshot: a segment
+    emptied by a commit that ran during the sync window must survive
+    until the next barrier, because a crash now recovers to a state
+    (prefix through this barrier's record) that still reads it. *)
+let barrier_finish t (tok : barrier_token) : unit =
+  Log.barrier ~eligible:tok.bt_eligible t.log;
+  t.stats.durable_commits <- t.stats.durable_commits + 1;
+  t.commits_since_cp <- t.commits_since_cp + 1;
+  if
+    t.commits_since_cp >= t.cfg.Config.checkpoint_every
+    || Log.residual_bytes t.log >= t.cfg.Config.checkpoint_residual_bytes
+  then begin
+    let est_bytes =
+      Location_map.count_dirty t.map * t.cfg.Config.map_fanout * (16 + t.sec.Security.hash_len)
+    in
+    ensure_free t ~segs:(min 16 (2 + (est_bytes / t.cfg.Config.segment_size)));
+    checkpoint t
+  end
+
+let durable_barrier t : unit =
+  let tok = barrier_begin t in
+  barrier_sync t tok;
+  barrier_finish t tok
+
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -816,6 +883,7 @@ let close t : unit =
 (* ------------------------------------------------------------------ *)
 
 let stats t = t.stats
+let counter_value t = t.last_counter
 let utilization t = Log.utilization t.log
 let live_bytes t = Log.live_bytes t.log
 let capacity t = Log.capacity t.log

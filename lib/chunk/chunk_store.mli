@@ -94,6 +94,38 @@ val commit : ?durable:bool -> t -> unit
 val abort_batch : t -> unit
 (** Discard the buffered batch. *)
 
+val durable_barrier : t -> unit
+(** A durable commit with an empty batch: forces the log and advances the
+    one-way counter, promoting every earlier nondurable commit to durable.
+    The group-commit hook — many transactions commit nondurably, then one
+    barrier buys durability for all of them with a single sync + counter
+    bump.
+    @raise Invalid_argument while a batch is buffered. *)
+
+(** {2 Staged barrier}
+
+    {!durable_barrier} split into its three stages so a server can release
+    its state lock during the physical wait (the sync and the counter
+    bump), letting other sessions land nondurable commits that the {e
+    next} barrier will cover. Contract: [begin] and [finish] run under the
+    caller's state lock; [sync] may run outside it, but at most one staged
+    barrier may be in flight and no other durable commit may run
+    concurrently (the group-commit coordinator's single-leader rule). *)
+
+type barrier_token
+
+val barrier_begin : t -> barrier_token
+(** Append the empty durable commit record; snapshot reclaimable segments.
+    @raise Invalid_argument while a batch is buffered. *)
+
+val barrier_sync : t -> barrier_token -> unit
+(** Force the store and advance the one-way counter.
+    @raise Types.Tamper_detected on a counter mismatch. *)
+
+val barrier_finish : t -> barrier_token -> unit
+(** Reclaim begin-time garbage, account the durable commit, and trigger a
+    checkpoint if due. *)
+
 (** {1 Maintenance} *)
 
 val checkpoint : t -> unit
@@ -145,6 +177,11 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val counter_value : t -> int64
+(** The database's view of the one-way counter (advanced by durable
+    commits and {!durable_barrier}s while security is on). *)
+
 val utilization : t -> float
 val live_bytes : t -> int
 val capacity : t -> int

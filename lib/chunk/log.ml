@@ -110,10 +110,22 @@ let of_recovery (store : Tdb_platform.Untrusted_store.t) (cfg : Config.t) ~(tail
     paper notes the chunk store "can increase or decrease the space
     allocated for storage" (Section 3.2.1), and shrinking is what lets the
     database settle at the configured utilization. *)
-let barrier t =
+let zero_usage_segments t =
+  let h = Hashtbl.create 64 in
+  for seg = 0 to t.nsegments - 1 do
+    if usage_of t seg = 0 then Hashtbl.replace h seg ()
+  done;
+  h
+
+let barrier ?eligible t =
+  let candidate seg = match eligible with None -> true | Some h -> Hashtbl.mem h seg in
   let free = ref [] in
   for seg = 0 to t.nsegments - 1 do
-    if (not (Int.equal seg t.tail_seg)) && usage_of t seg = 0 && not (is_pinned t seg) && not (Hashtbl.mem t.residual seg)
+    if
+      (not (Int.equal seg t.tail_seg))
+      && usage_of t seg = 0 && candidate seg
+      && (not (is_pinned t seg))
+      && not (Hashtbl.mem t.residual seg)
     then free := seg :: !free
   done;
   t.free <- List.rev !free;

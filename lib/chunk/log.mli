@@ -58,7 +58,19 @@ val obsolete_entry : t -> entry -> unit
 
 (** {1 Barriers, growth, pinning} *)
 
-val barrier : t -> unit
+val barrier : ?eligible:(int, unit) Hashtbl.t -> t -> unit
+(** Recompute the free list and shrink trailing free segments. With
+    [eligible], only segments in the set are considered for promotion —
+    used by a staged (group-commit) barrier whose commit record was
+    appended before other commits ran: segments whose last live bytes
+    were obsoleted by those later, not-yet-durable commits must survive
+    until the {e next} barrier, or a crash could recover to a state that
+    still needs them. *)
+
+val zero_usage_segments : t -> (int, unit) Hashtbl.t
+(** Snapshot of segments currently holding no live bytes — the candidate
+    set to pass as [eligible] to a later {!barrier}. *)
+
 val end_checkpoint : t -> unit
 val grow : t -> segments:int -> unit
 val pin : t -> int -> unit

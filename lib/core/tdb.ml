@@ -59,6 +59,10 @@ module Lock_manager = Tdb_objstore.Lock_manager
 module Gkey = Tdb_collection.Gkey
 module Indexer = Tdb_collection.Indexer
 module Cstore = Tdb_collection.Cstore
+module Proto = Tdb_server.Proto
+module Server = Tdb_server.Server
+module Client = Tdb_server.Client
+module Group_commit = Tdb_server.Group_commit
 
 exception Tamper_detected = Tdb_chunk.Types.Tamper_detected
 

@@ -14,7 +14,10 @@
     - {!Object_store} / {!Obj_class}: typed, named C-style objects with
       transactions, strict 2PL and an object cache.
     - {!Cstore} / {!Indexer} / {!Gkey}: collections with automatically
-      maintained functional indexes and insensitive iterators. *)
+      maintained functional indexes and insensitive iterators.
+    - {!Server} / {!Client} / {!Proto} / {!Group_commit}: the networked
+      service layer — sessions over Unix-domain/TCP sockets with group
+      commit. *)
 
 (** {1 Re-exported layers} *)
 
@@ -45,6 +48,10 @@ module Lock_manager = Tdb_objstore.Lock_manager
 module Gkey = Tdb_collection.Gkey
 module Indexer = Tdb_collection.Indexer
 module Cstore = Tdb_collection.Cstore
+module Proto = Tdb_server.Proto
+module Server = Tdb_server.Server
+module Client = Tdb_server.Client
+module Group_commit = Tdb_server.Group_commit
 
 exception Tamper_detected of string
 (** Alias of {!Chunk_types.Tamper_detected}: validation failed in a way a

@@ -220,6 +220,85 @@ let run_phase_a ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
     commit_shadow ~durable ~cs ~sh ~cp_seen ~ctr ~hw_floor
   done
 
+(* Group-commit phase A: batches of nondurable session commits made
+   durable by a *staged* barrier ({!Chunk_store.barrier_begin} /
+   [barrier_sync] / [barrier_finish]), with further commits landing
+   inside the sync window and between sync and finish — the exact
+   interleaving the server's group-commit coordinator produces, replayed
+   deterministically so the sweep can crash at every boundary of a
+   coalesced multi-session barrier. Window commits land after the
+   barrier's commit record, so they are not covered by it: [durable_lo]
+   advances only to the commits issued before [barrier_begin]. This also
+   exercises the barrier's restricted segment reclamation — a window
+   commit may obsolete a chunk version that recovery (to the barrier
+   point) still needs. *)
+let run_phase_gc ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
+  let n_base = trace.accounts + trace.tellers + trace.branches in
+  let base = Array.init n_base (fun _ -> Chunk_store.allocate cs) in
+  Array.iteri
+    (fun i cid ->
+      let data = pad (Printf.sprintf "base:%03d:init:%d" i (Drbg.int rng 1_000_000)) in
+      Chunk_store.write cs cid data;
+      shadow_write sh cid data)
+    base;
+  commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor;
+  (* Two segment-sized chunks: rewriting one obsoletes (almost) a whole
+     segment at once, so window commits regularly empty segments — the
+     reclamation case the barrier's eligible set must exclude. *)
+  let fat_len = store_config.Config.segment_size * 3 / 4 in
+  let fat = Array.init 2 (fun _ -> Chunk_store.allocate cs) in
+  let fat_data i v =
+    let s = Printf.sprintf "fat:%d:v:%04d:" i v in
+    s ^ String.make (fat_len - String.length s) (Char.chr (Char.code 'a' + (v mod 26)))
+  in
+  Array.iteri
+    (fun i cid ->
+      Chunk_store.write cs cid (fat_data i 0);
+      shadow_write sh cid (fat_data i 0))
+    fat;
+  commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor;
+  let txn = ref 0 in
+  let session_commit tag =
+    incr txn;
+    if Int.equal (Drbg.int rng 3) 0 then begin
+      let i = Drbg.int rng (Array.length fat) in
+      check_read cs sh fat.(i);
+      let data = fat_data i !txn in
+      Chunk_store.write cs fat.(i) data;
+      shadow_write sh fat.(i) data
+    end
+    else begin
+      let cid = base.(Drbg.int rng n_base) in
+      check_read cs sh cid;
+      let data = pad (Printf.sprintf "%s:%03d:txn:%04d:%d" tag cid !txn (Drbg.int rng 10_000)) in
+      Chunk_store.write cs cid data;
+      shadow_write sh cid data
+    end;
+    commit_shadow ~durable:false ~cs ~sh ~cp_seen ~ctr ~hw_floor
+  in
+  while !txn < trace.txns do
+    (* sessions that committed before the leader took the barrier *)
+    for _ = 0 to Drbg.int rng 3 do
+      session_commit "gc"
+    done;
+    let covered = sh.issued in
+    let tok = Chunk_store.barrier_begin cs in
+    (* sessions landing while the leader syncs: after the barrier record.
+       Weighted heavy so window commits regularly empty a segment — the
+       reclamation case the barrier's eligible set must exclude. *)
+    for _ = 1 to Drbg.int rng 6 do
+      session_commit "win"
+    done;
+    Chunk_store.barrier_sync cs tok;
+    (* the state lock can be retaken between sync and finish *)
+    if Int.equal (Drbg.int rng 2) 0 then session_commit "gap";
+    Chunk_store.barrier_finish cs tok;
+    if covered > sh.durable_lo then sh.durable_lo <- covered;
+    let hw = OWC.read ctr in
+    if Int64.compare hw !hw_floor > 0 then hw_floor := hw;
+    cp_seen := (Chunk_store.stats cs).Chunk_store.checkpoints
+  done
+
 (* Phase B: generic epilogue against whatever state recovery produced —
    rewrite existing chunks, allocate new ones, occasionally deallocate. *)
 let run_epilogue ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
@@ -369,7 +448,7 @@ let tears = [| Fault_plan.Skip; Fault_plan.Torn; Fault_plan.Applied |]
 
 (* Run the trace once with the plan armed past the horizon to count the
    write/sync boundaries of the armed region. *)
-let record_boundaries ~trace =
+let record_boundaries ~phase_a ~trace =
   let env = make_env () in
   let sh = shadow_create () in
   let rng = Drbg.create ~seed:(trace.seed ^ ":trace") in
@@ -378,7 +457,7 @@ let record_boundaries ~trace =
   shadow_base sh;
   Fault_plan.arm env.plan ~at:max_int ~tear:Fault_plan.Skip;
   let hw_floor = ref (OWC.read ctr) in
-  run_phase_a ~trace ~cs ~sh ~rng ~cp_seen:(ref 0) ~ctr ~hw_floor;
+  phase_a ~trace ~cs ~sh ~rng ~cp_seen:(ref 0) ~ctr ~hw_floor;
   let n = Fault_plan.ops env.plan in
   Fault_plan.reset env.plan;
   Chunk_store.close cs;
@@ -387,7 +466,7 @@ let record_boundaries ~trace =
 (* One sweep cell: crash phase A at boundary [k], recover under the
    seeded persistence subset, then run the epilogue with a second seeded
    crashpoint and recover again. *)
-let one_run ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
+let one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
   let env = make_env () in
   let sh = shadow_create () in
   let trace_rng = Drbg.create ~seed:(trace.seed ^ ":trace") in
@@ -413,7 +492,7 @@ let one_run ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
     if Option.is_some r then incr recoveries;
     r
   in
-  match run_phase_a ~trace ~cs:cs0 ~sh ~rng:trace_rng ~cp_seen ~ctr:ctr0 ~hw_floor with
+  match phase_a ~trace ~cs:cs0 ~sh ~rng:trace_rng ~cp_seen ~ctr:ctr0 ~hw_floor with
   | () ->
       (* crashpoint beyond the trace: close cleanly and verify the full state *)
       Fault_plan.reset env.plan;
@@ -462,8 +541,8 @@ let one_run ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
           | exception e -> add violations (run ^ ":B") "workload-exception" (Printexc.to_string e)))
   | exception e -> add violations run "workload-exception" (Printexc.to_string e)
 
-let sweep_crashpoints ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
-  let boundaries = record_boundaries ~trace in
+let sweep ~phase_a ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
+  let boundaries = record_boundaries ~phase_a ~trace in
   let violations = ref [] in
   let runs = ref 0 and crashes = ref 0 and recoveries = ref 0 and crashpoints = ref 0 in
   let k = ref 0 in
@@ -472,7 +551,7 @@ let sweep_crashpoints ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
     incr crashpoints;
     for seed_idx = 0 to seeds - 1 do
       incr runs;
-      one_run ~trace ~violations ~crashes ~recoveries ~k:!k ~seed_idx
+      one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k:!k ~seed_idx
     done;
     k := !k + stride
   done;
@@ -485,6 +564,12 @@ let sweep_crashpoints ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
     recoveries = !recoveries;
     violations = List.rev !violations;
   }
+
+let sweep_crashpoints ?progress ~trace ~seeds ~stride () =
+  sweep ~phase_a:run_phase_a ?progress ~trace ~seeds ~stride ()
+
+let sweep_group_commit ?progress ~trace ~seeds ~stride () =
+  sweep ~phase_a:run_phase_gc ?progress ~trace ~seeds ~stride ()
 
 (* ------------------------------------------------------------------ *)
 (* Tamper sweep *)
@@ -554,24 +639,28 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let json_summary ~trace ~(crash : crash_report) ~(tamper : tamper_report) : string =
+let json_summary ?group_commit ~trace ~(crash : crash_report) ~(tamper : tamper_report) () : string =
   let b = Buffer.create 1024 in
+  let add_crash_report key (r : crash_report) =
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"%s\": {\"boundaries\": %d, \"crashpoints\": %d, \"seeds\": %d, \"runs\": %d, \"crashes\": %d, \"recoveries\": %d, \"violations\": ["
+         key r.boundaries r.crashpoints r.seeds r.runs r.crashes r.recoveries);
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b
+          (Printf.sprintf "{\"run\": \"%s\", \"kind\": \"%s\", \"detail\": \"%s\"}" (json_escape v.v_run)
+             (json_escape v.v_kind) (json_escape v.v_detail)))
+      r.violations;
+    Buffer.add_string b "]},\n"
+  in
   Buffer.add_string b "{\n";
   Buffer.add_string b
     (Printf.sprintf "  \"trace\": {\"seed\": \"%s\", \"txns\": %d, \"accounts\": %d, \"tellers\": %d, \"branches\": %d},\n"
        (json_escape trace.seed) trace.txns trace.accounts trace.tellers trace.branches);
-  Buffer.add_string b
-    (Printf.sprintf
-       "  \"crash\": {\"boundaries\": %d, \"crashpoints\": %d, \"seeds\": %d, \"runs\": %d, \"crashes\": %d, \"recoveries\": %d, \"violations\": ["
-       crash.boundaries crash.crashpoints crash.seeds crash.runs crash.crashes crash.recoveries);
-  List.iteri
-    (fun i v ->
-      if i > 0 then Buffer.add_string b ", ";
-      Buffer.add_string b
-        (Printf.sprintf "{\"run\": \"%s\", \"kind\": \"%s\", \"detail\": \"%s\"}" (json_escape v.v_run)
-           (json_escape v.v_kind) (json_escape v.v_detail)))
-    crash.violations;
-  Buffer.add_string b "]},\n";
+  add_crash_report "crash" crash;
+  (match group_commit with None -> () | Some r -> add_crash_report "group_commit" r);
   Buffer.add_string b
     (Printf.sprintf
        "  \"tamper\": {\"image_bytes\": %d, \"flips\": %d, \"detected\": %d, \"harmless\": %d, \"silent\": %d}\n"

@@ -48,11 +48,23 @@ val sweep_crashpoints :
     recover and check again, then probe usability. [progress] is called
     with [(k, n)] before each crashpoint. *)
 
+val sweep_group_commit :
+  ?progress:(int -> int -> unit) -> trace:trace_cfg -> seeds:int -> stride:int -> unit -> crash_report
+(** Same sweep, but phase A replays the server's group-commit schedule:
+    batches of nondurable session commits made durable by a staged
+    barrier ({!Tdb_chunk.Chunk_store.barrier_begin} / [barrier_sync] /
+    [barrier_finish]) with further commits landing inside the barrier's
+    sync window — so every boundary of a coalesced multi-session barrier
+    is crashed, including the window commits' interaction with segment
+    reclamation. *)
+
 val sweep_tamper : ?stride:int -> ?mask:int -> trace:trace_cfg -> unit -> tamper_report
 (** Build a committed image from the trace, then XOR [mask] into every
     [stride]-th byte (one at a time): each flip must be detected
     ([Tamper_detected] / [Recovery_failed]) or harmless (all reads return
     the original values) — never silently wrong data. *)
 
-val json_summary : trace:trace_cfg -> crash:crash_report -> tamper:tamper_report -> string
-(** Machine-readable summary for the [tdb_crashfuzz] CLI. *)
+val json_summary :
+  ?group_commit:crash_report -> trace:trace_cfg -> crash:crash_report -> tamper:tamper_report -> unit -> string
+(** Machine-readable summary for the [tdb_crashfuzz] CLI.
+    [group_commit], when present, is the {!sweep_group_commit} report. *)

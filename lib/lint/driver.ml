@@ -33,6 +33,8 @@ let scan ~root dirs : report =
   let mls, mlis = List.fold_left (fun acc d -> collect ~root d acc) ([], []) dirs in
   let mls = List.sort String.compare mls in
   let has_mli ml = List.exists (String.equal (ml ^ "i")) mlis in
+  (* R5 applies to library modules; executables (bin/) have no interface *)
+  let wants_mli ml = String.length ml >= 4 && String.equal (String.sub ml 0 4) "lib/" in
   let violations =
     List.concat_map
       (fun rel ->
@@ -43,7 +45,7 @@ let scan ~root dirs : report =
           | exception Syntaxerr.Error _ -> failwith (rel ^ ": syntax error (does it compile?)")
           | exception Lexer.Error (_, _) -> failwith (rel ^ ": lexing error (does it compile?)")
         in
-        if has_mli rel then vs else vs @ [ Engine.missing_interface ~path:rel ])
+        if has_mli rel || not (wants_mli rel) then vs else vs @ [ Engine.missing_interface ~path:rel ])
       mls
   in
   { files_checked = List.length mls; violations }

@@ -69,7 +69,8 @@ type violation = {
 
 (** Layers inside the paper's trusted code base: everything an attacker
     must not be able to influence. *)
-let trusted_dirs = [ "lib/chunk"; "lib/crypto"; "lib/objstore"; "lib/backup"; "lib/platform" ]
+let trusted_dirs =
+  [ "lib/chunk"; "lib/crypto"; "lib/objstore"; "lib/backup"; "lib/platform"; "lib/server"; "bin" ]
 
 (** Layers where R2 (constant-time comparison of secret-derived values)
     applies: the crypto primitives and their direct consumers. *)

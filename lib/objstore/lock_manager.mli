@@ -1,8 +1,11 @@
 (** Shared/exclusive object locks with timeout-based deadlock breaking
     (paper Section 4.2.3). The store's single state mutex is released
     while a thread waits on a transactional lock — exactly the behaviour
-    the paper describes to avoid spurious deadlocks. Geared to low
-    concurrency on purpose: no granular locks, no escalation. *)
+    the paper describes to avoid spurious deadlocks. Waiting is
+    condition-signalled (a release wakes blocked acquirers immediately; an
+    on-demand timer thread enforces the timeout that breaks deadlocks), so
+    contention burns no cycles polling. Geared to low concurrency on
+    purpose: no granular locks, no escalation. *)
 
 exception Lock_timeout of { oid : int; txn : int }
 

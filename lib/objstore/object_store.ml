@@ -118,6 +118,7 @@ let of_chunk_store ?(config = default_config) (cs : Chunk_store.t) : t =
   }
 
 let chunk_store t = t.cs
+let held_count t = with_mu t (fun () -> Lock_manager.held_count t.locks)
 let close t = with_mu t (fun () -> Chunk_store.close t.cs)
 let checkpoint t = with_mu t (fun () -> Chunk_store.checkpoint t.cs)
 let cache_stats t = Cache.stats t.cache
@@ -195,6 +196,25 @@ let open_readonly (x : txn) (cls : 'a Obj_class.t) (oid : oid) : ('a, readonly) 
     transaction's write set and will be pickled and committed at commit. *)
 let open_writable (x : txn) (cls : 'a Obj_class.t) (oid : oid) : ('a, writable) ref_ =
   { value = open_gen x cls oid ~mode:Lock_manager.Exclusive; owner = x }
+
+(** Replace the stored value of [oid] with [v] wholesale (exclusive lock;
+    the object joins the write set exactly as {!open_writable} would).
+    Unlike mutating through a writable ref, the caller supplies a complete
+    new value — the primitive a network server needs to apply a
+    client-supplied state. The class is checked against the stored
+    object. *)
+let update (x : txn) (cls : 'a Obj_class.t) (oid : oid) (v : 'a) : unit =
+  with_mu x.store (fun () ->
+      check_active x;
+      if List.mem oid x.removed then raise (Removed_in_transaction oid);
+      lock x ~oid ~mode:Lock_manager.Exclusive;
+      let e = load x.store oid in
+      (* class check: updating at the wrong class is the same error as
+         opening at the wrong class *)
+      ignore (Obj_class.cast cls e.Cache.value);
+      pin_entry x e;
+      e.Cache.value <- Obj_class.Value (cls, v);
+      Hashtbl.replace x.writes oid e)
 
 (** Remove an object from the store; its id is freed at commit. *)
 let remove (x : txn) (oid : oid) : unit =
@@ -283,6 +303,23 @@ let abort (x : txn) : unit =
       Hashtbl.iter (fun oid _ -> Cache.remove t.cache oid) x.writes;
       List.iter (fun oid -> try Chunk_store.deallocate t.cs oid with Types.Not_allocated _ -> ()) x.inserted;
       Chunk_store.abort_batch t.cs)
+
+(** Durable barrier without a transaction: promote every committed
+    nondurable transaction to durable with one sync + one counter bump
+    (see {!Chunk_store.durable_barrier}). The group-commit coordinator's
+    hook into the commit path: sessions commit nondurably under the state
+    mutex, then one coordinator thread runs the barrier for all of them.
+
+    The state mutex is {e released} during the physical wait (the staged
+    {!Chunk_store.barrier_sync}): that window is exactly where concurrent
+    sessions land the nondurable commits the next barrier coalesces —
+    holding the mutex through the sync would serialize every commit
+    behind the barrier and defeat group commit entirely. The caller (the
+    coordinator) guarantees at most one barrier in flight. *)
+let durable_barrier (t : t) : unit =
+  let tok = with_mu t (fun () -> Chunk_store.barrier_begin t.cs) in
+  Chunk_store.barrier_sync t.cs tok;
+  with_mu t (fun () -> Chunk_store.barrier_finish t.cs tok)
 
 (** Run [f] in a transaction, committing on success and aborting on
     exception. *)

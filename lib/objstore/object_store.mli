@@ -43,6 +43,11 @@ val checkpoint : t -> unit
 val cache_stats : t -> int * int * int
 (** (hits, misses, evictions). *)
 
+val held_count : t -> int
+(** Objects currently holding at least one transactional lock — 0 when no
+    transaction is active (observable lock hygiene, e.g. after a network
+    session dies). *)
+
 val get_root : t -> string -> oid option
 (** Committed value of a named root. *)
 
@@ -75,6 +80,12 @@ val open_writable : txn -> 'a Obj_class.t -> oid -> ('a, writable) ref_
 (** Exclusive lock; the object joins the write set and is pickled and
     written at commit. Mutate the dereferenced value in place. *)
 
+val update : txn -> 'a Obj_class.t -> oid -> 'a -> unit
+(** Replace the stored value wholesale (exclusive lock, joins the write
+    set). The network server's write primitive: the new value arrives
+    complete, rather than being mutated through a ref.
+    @raise Obj_class.Type_mismatch when the stored class differs. *)
+
 val remove : txn -> oid -> unit
 (** Remove the object; its id is released at commit. *)
 
@@ -94,3 +105,9 @@ val abort : txn -> unit
 
 val with_txn : ?durable:bool -> t -> (txn -> 'a) -> 'a
 (** Run [f] in a transaction; commit on return, abort on exception. *)
+
+val durable_barrier : t -> unit
+(** Promote every committed nondurable transaction to durable with one
+    log force and one one-way-counter bump — the group-commit hook (see
+    {!Tdb_chunk.Chunk_store.durable_barrier}). Serialized under the
+    store's state mutex like every other chunk-store access. *)

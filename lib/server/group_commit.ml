@@ -1,0 +1,109 @@
+(** Group commit: coalesce concurrent sessions' durable commits into one
+    durable barrier.
+
+    The chunk store's commit protocol makes durability expensive — a log
+    force plus a one-way counter increment (paper Section 3.1.2) — and
+    makes nondurable commits cheap but conditional: they survive only once
+    a later durable barrier lands. That split is exactly the contract
+    group commit needs. A session wanting a durable commit first commits
+    {e nondurably} (atomicity and isolation are settled at that point),
+    then calls {!run} here and blocks until some barrier covers it.
+
+    Tickets order commits against barriers. Each caller takes the next
+    ticket {e after} its nondurable commit has landed; a leader claims
+    [claim = next_ticket] before running the barrier, so every ticket
+    below [claim] names a commit that is already in the log when the
+    barrier starts — the barrier genuinely covers it. Tickets at or above
+    [claim] arrived too late and wait for the next barrier; the first such
+    waiter to wake becomes that barrier's leader. One barrier, one sync,
+    one counter bump, arbitrarily many commits.
+
+    A barrier that raises poisons the coordinator: the store's durability
+    story is broken and every current and future caller gets the same
+    exception rather than a false durability claim. *)
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  barrier : unit -> unit;  (** the durable barrier; called outside [mu] *)
+  mutable next_ticket : int;
+  mutable durable_ticket : int;  (** every ticket below this is durable *)
+  mutable leader_active : bool;
+  mutable poisoned : exn option;
+  mutable batches : int;
+  mutable coalesced : int;
+}
+
+let create ~(barrier : unit -> unit) : t =
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    barrier;
+    next_ticket = 0;
+    durable_ticket = 0;
+    leader_active = false;
+    poisoned = None;
+    batches = 0;
+    coalesced = 0;
+  }
+
+let check_poisoned t =
+  match t.poisoned with
+  | Some e ->
+      Mutex.unlock t.mu;
+      raise e
+  | None -> ()
+
+(** Make the caller's already-landed nondurable commit durable. Blocks
+    until a barrier covers it; runs the barrier itself when it gets there
+    first. *)
+let run (t : t) : unit =
+  Mutex.lock t.mu;
+  check_poisoned t;
+  let my = t.next_ticket in
+  t.next_ticket <- t.next_ticket + 1;
+  t.coalesced <- t.coalesced + 1;
+  let rec wait () =
+    if t.durable_ticket > my then Mutex.unlock t.mu (* covered by a finished barrier *)
+    else begin
+      check_poisoned t;
+      if t.leader_active then begin
+        (* a barrier is running (or a leader is being elected elsewhere);
+           it may not cover us — re-check when it broadcasts *)
+        Condition.wait t.cond t.mu;
+        wait ()
+      end
+      else begin
+        (* become the leader: claim every ticket issued so far — all their
+           nondurable commits are in the log (tickets are taken post-commit
+           under this mutex) — and run the barrier outside the lock so
+           late arrivals can queue for the next round *)
+        t.leader_active <- true;
+        let claim = t.next_ticket in
+        Mutex.unlock t.mu;
+        let outcome = try Ok (t.barrier ()) with e -> Error e in
+        Mutex.lock t.mu;
+        t.leader_active <- false;
+        (match outcome with
+        | Ok () ->
+            t.durable_ticket <- claim;
+            t.batches <- t.batches + 1
+        | Error e -> t.poisoned <- Some e);
+        Condition.broadcast t.cond;
+        match outcome with
+        | Ok () -> Mutex.unlock t.mu (* [my] < [claim] by construction *)
+        | Error e ->
+            Mutex.unlock t.mu;
+            raise e
+      end
+    end
+  in
+  wait ()
+
+type stats = { gc_batches : int; gc_coalesced : int }
+
+let stats (t : t) : stats =
+  Mutex.lock t.mu;
+  let s = { gc_batches = t.batches; gc_coalesced = t.coalesced } in
+  Mutex.unlock t.mu;
+  s

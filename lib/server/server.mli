@@ -1,0 +1,66 @@
+(** The TDB network service: a threaded server exposing an embedded
+    object/collection store over Unix-domain or TCP sockets.
+
+    One session per connection, one thread per session, at most one open
+    transaction per session. Sessions are aborted on disconnect and on
+    idle timeout, so a dead client never strands 2PL locks; a lock
+    timeout aborts the session's transaction before the error reaches the
+    client (the timeout is a deadlock breaker — keeping the deadlocked
+    transaction's locks would break nothing). With [group_commit] on,
+    durable commits land nondurably and are promoted by a shared
+    {!Group_commit} barrier.
+
+    Only explicitly exposed classes and collections are reachable over
+    the wire; collection mutations run server-side as registered named
+    closures, so a read-modify-write costs one round trip and never holds
+    a shared lock while waiting for the client. *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket at this path (unlinked first) *)
+  | Tcp of string * int  (** numeric host, port; port 0 picks one — see {!port} *)
+
+type config = {
+  group_commit : bool;  (** coalesce durable commits into shared barriers *)
+  idle_timeout : float;  (** seconds of silence before a session is dropped; 0 = never *)
+  max_frame : int;
+}
+
+val default_config : config
+(** group commit on, no idle timeout, {!Proto.default_max_frame}. *)
+
+type t
+
+val create : ?config:config -> Tdb_objstore.Object_store.t -> addr -> t
+(** Bind and listen. The server does not own the store's lifecycle: close
+    it yourself after {!stop}. *)
+
+val port : t -> int
+(** The bound TCP port (use with [Tcp (host, 0)]).
+    @raise Invalid_argument on a Unix-domain server. *)
+
+val expose_class : t -> 'a Tdb_objstore.Obj_class.t -> unit
+(** Allow remote typed reads/writes/inserts of this class. *)
+
+val expose_collection :
+  t ->
+  name:string ->
+  schema:'a Tdb_objstore.Obj_class.t ->
+  indexers:'a Tdb_collection.Indexer.generic list ->
+  ?mutations:(string * ('a -> Tdb_pickle.Pickle.reader -> unit)) list ->
+  unit ->
+  unit
+(** Allow remote access to a collection (created on first touch if the
+    database does not have it yet; opened with [indexers] otherwise).
+    [mutations] are the named in-place updates remote peers may invoke;
+    each receives the object and a reader over the client-supplied
+    argument bytes. Exposing a collection also exposes its schema class. *)
+
+val start : t -> unit
+(** Spawn the accept loop in a background thread. *)
+
+val serve : t -> unit
+(** Run the accept loop in the calling thread (blocks until {!stop}). *)
+
+val stop : ?timeout:float -> t -> unit
+(** Stop accepting, shut down live sessions (their transactions abort),
+    and wait up to [timeout] seconds for session threads to drain. *)

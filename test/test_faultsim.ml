@@ -201,6 +201,21 @@ let test_crashfuzz_smoke () =
         (List.length report.Crashfuzz.violations)
         v.Crashfuzz.v_run v.Crashfuzz.v_kind v.Crashfuzz.v_detail)
 
+(* Same sweep over the server's group-commit schedule: nondurable session
+   commits coalesced by a staged barrier, crashed at every boundary —
+   including inside the barrier's sync window, where further commits land
+   after the barrier record. *)
+let test_crashfuzz_group_commit () =
+  let report = Crashfuzz.sweep_group_commit ~trace:Crashfuzz.smoke_trace ~seeds:2 ~stride:17 () in
+  Alcotest.(check bool) "swept a real trace" true (report.Crashfuzz.boundaries > 50);
+  Alcotest.(check bool) "crashed and recovered" true (report.Crashfuzz.recoveries > 0);
+  (match report.Crashfuzz.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%d violations, first: %s %s: %s"
+        (List.length report.Crashfuzz.violations)
+        v.Crashfuzz.v_run v.Crashfuzz.v_kind v.Crashfuzz.v_detail)
+
 let test_tamper_smoke () =
   let report = Crashfuzz.sweep_tamper ~stride:41 ~trace:Crashfuzz.smoke_trace () in
   Alcotest.(check int) "no silent corruption" 0 report.Crashfuzz.silent;
@@ -225,6 +240,7 @@ let () =
       ( "crashfuzz",
         [
           Alcotest.test_case "bounded crashpoint sweep" `Slow test_crashfuzz_smoke;
+          Alcotest.test_case "bounded group-commit sweep" `Slow test_crashfuzz_group_commit;
           Alcotest.test_case "bounded tamper sweep" `Slow test_tamper_smoke;
         ] );
     ]

@@ -256,6 +256,88 @@ let test_concurrent_increments () =
   Alcotest.(check int) "serializable increments" (nthreads * per_thread) m.view_count;
   Object_store.abort t
 
+(* Multi-object transfers under contention: N threads move amounts
+   between random pairs of accounts (two exclusive locks per txn, random
+   order — plenty of deadlock opportunities for the timeout breaker),
+   while another thread runs durable barriers through the staged path a
+   group-commit coordinator uses. Money is conserved iff 2PL serialized
+   every transfer and no lock was ever double-granted. *)
+let test_concurrent_transfer_stress () =
+  let config = { Object_store.default_config with Object_store.lock_timeout = 0.1 } in
+  let env = fresh_env () in
+  let os = fresh ~config env in
+  let n_accounts = 8 and nthreads = 4 and per_thread = 40 and initial = 1000 in
+  let oids =
+    let x = Object_store.begin_ os in
+    let oids =
+      Array.init n_accounts (fun i ->
+          Object_store.insert x meter_cls { view_count = initial; print_count = i; good = "acct" })
+    in
+    Object_store.commit x;
+    oids
+  in
+  let retries = Array.make nthreads 0 in
+  let stop = ref false in
+  let barrier_thread =
+    Thread.create
+      (fun () ->
+        while not !stop do
+          Object_store.durable_barrier os;
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let threads =
+    List.init nthreads (fun ti ->
+        Thread.create
+          (fun () ->
+            let rng = Tdb_crypto.Drbg.create ~seed:(Printf.sprintf "transfer-%d" ti) in
+            for _ = 1 to per_thread do
+              let a = Tdb_crypto.Drbg.int rng n_accounts in
+              let b = (a + 1 + Tdb_crypto.Drbg.int rng (n_accounts - 1)) mod n_accounts in
+              let amount = 1 + Tdb_crypto.Drbg.int rng 50 in
+              let rec attempt () =
+                let t = Object_store.begin_ os in
+                match
+                  let src = Object_store.deref (Object_store.open_writable t meter_cls oids.(a)) in
+                  let dst = Object_store.deref (Object_store.open_writable t meter_cls oids.(b)) in
+                  src.view_count <- src.view_count - amount;
+                  dst.view_count <- dst.view_count + amount;
+                  Object_store.commit ~durable:false t
+                with
+                | () -> ()
+                | exception Lock_manager.Lock_timeout _ ->
+                    Object_store.abort t;
+                    retries.(ti) <- retries.(ti) + 1;
+                    attempt ()
+              in
+              attempt ()
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  stop := true;
+  Thread.join barrier_thread;
+  Alcotest.(check int) "all locks released" 0 (Object_store.held_count os);
+  let x = Object_store.begin_ os in
+  let total =
+    Array.fold_left
+      (fun acc oid -> acc + (Object_store.deref (Object_store.open_readonly x meter_cls oid)).view_count)
+      0 oids
+  in
+  Object_store.abort x;
+  Alcotest.(check int) "money conserved" (n_accounts * initial) total;
+  (* the barriers promoted the nondurable transfers: they survive reopen *)
+  let os2 = reopen env in
+  let x2 = Object_store.begin_ os2 in
+  let total2 =
+    Array.fold_left
+      (fun acc oid -> acc + (Object_store.deref (Object_store.open_readonly x2 meter_cls oid)).view_count)
+      0 oids
+  in
+  Object_store.abort x2;
+  Alcotest.(check int) "conserved after reopen" (n_accounts * initial) total2
+
 let test_deadlock_broken_by_timeout () =
   let config = { Object_store.default_config with Object_store.lock_timeout = 0.1 } in
   let os = fresh ~config (fresh_env ()) in
@@ -502,6 +584,7 @@ let () =
       ( "concurrency",
         [
           Alcotest.test_case "serializable increments" `Slow test_concurrent_increments;
+          Alcotest.test_case "concurrent transfer stress" `Slow test_concurrent_transfer_stress;
           Alcotest.test_case "deadlock timeout" `Slow test_deadlock_broken_by_timeout;
           Alcotest.test_case "shared reads" `Quick test_shared_locks_concurrent_reads;
           Alcotest.test_case "writer blocks reader" `Quick test_writer_blocks_reader;

@@ -1,0 +1,244 @@
+(* Network service tests: RPC round trips, transactional semantics over
+   the wire, session hygiene (abrupt disconnect, idle timeout), and the
+   end-to-end acceptance run — concurrent client sessions committing
+   interleaved transactions with group commit coalescing their durable
+   barriers. *)
+
+open Tdb_platform
+open Tdb_chunk
+open Tdb_objstore
+open Tdb_collection
+open Tdb_server
+
+let chunk_cfg =
+  { Config.default with Config.segment_size = 8192; initial_segments = 8; checkpoint_every = 64;
+    anchor_slot_size = 2048 }
+
+type item = { id : int; mutable qty : int; label : string }
+
+let item_cls : item Obj_class.t =
+  Obj_class.define ~name:"test.server.item"
+    ~pickle:(fun w (i : item) ->
+      Tdb_pickle.Pickle.int w i.id;
+      Tdb_pickle.Pickle.int w i.qty;
+      Tdb_pickle.Pickle.string w i.label)
+    ~unpickle:(fun ~version:_ r ->
+      let id = Tdb_pickle.Pickle.read_int r in
+      let qty = Tdb_pickle.Pickle.read_int r in
+      let label = Tdb_pickle.Pickle.read_string r in
+      { id; qty; label })
+    ()
+
+let item_ix () : (item, int) Indexer.t =
+  Indexer.make ~name:"id" ~key:Gkey.int ~extract:(fun (i : item) -> i.id) ~unique:true
+    ~impl:Indexer.Hash ()
+
+type env = { os : Object_store.t; srv : Server.t; addr : Server.addr }
+
+let with_server ?(config = Server.default_config) ?(lock_timeout = 1.0) f =
+  let _, store = Untrusted_store.open_mem () in
+  let _, ctr = One_way_counter.open_mem () in
+  let cs =
+    Chunk_store.create ~config:chunk_cfg ~secret:(Secret_store.of_seed "server-test") ~counter:ctr
+      store
+  in
+  let os =
+    Object_store.of_chunk_store
+      ~config:{ Object_store.default_config with Object_store.lock_timeout }
+      cs
+  in
+  let srv = Server.create ~config os (Server.Tcp ("127.0.0.1", 0)) in
+  Server.expose_class srv item_cls;
+  Server.expose_collection srv ~name:"item" ~schema:item_cls
+    ~indexers:[ Indexer.Generic (item_ix ()) ]
+    ~mutations:[ ("bump", fun (i : item) rd -> i.qty <- i.qty + Tdb_pickle.Pickle.read_int rd) ]
+    ();
+  Server.start srv;
+  let env = { os; srv; addr = Server.Tcp ("127.0.0.1", Server.port srv) } in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f env)
+
+(* --- typed objects and roots over the wire --- *)
+
+let test_rpc_objects () =
+  with_server (fun env ->
+      let c = Client.connect env.addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let oid =
+            Client.with_txn c (fun () ->
+                let oid = Client.insert c item_cls { id = 1; qty = 10; label = "first" } in
+                Client.set_root c "main" (Some oid);
+                oid)
+          in
+          Alcotest.(check (option int)) "root visible" (Some oid) (Client.get_root c "main");
+          Client.with_txn c (fun () ->
+              let v = Client.read c item_cls oid in
+              Alcotest.(check int) "read qty" 10 v.qty;
+              Alcotest.(check string) "read label" "first" v.label;
+              Client.update c item_cls oid { v with qty = 11 });
+          (* aborted writes stay invisible *)
+          Client.begin_ c;
+          Client.update c item_cls oid { id = 1; qty = 999; label = "first" };
+          Client.abort c;
+          Client.with_txn c (fun () ->
+              Alcotest.(check int) "abort rolled back" 11 (Client.read c item_cls oid).qty;
+              Client.remove c oid);
+          Client.with_txn c (fun () ->
+              match Client.read c item_cls oid with
+              | _ -> Alcotest.fail "removed object still readable"
+              | exception Client.Server_error _ -> ())))
+
+let test_rpc_collections () =
+  with_server (fun env ->
+      let c = Client.connect env.addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.with_txn c (fun () ->
+              for id = 0 to 9 do
+                ignore (Client.coll_insert c ~coll:"item" item_cls { id; qty = id; label = "x" })
+              done);
+          Alcotest.(check int) "size" 10 (Client.with_txn c (fun () -> Client.coll_size c ~coll:"item"));
+          Client.with_txn c (fun () ->
+              (match Client.coll_find c ~coll:"item" ~index:"id" Gkey.int 7 item_cls with
+              | Some (_, i) -> Alcotest.(check int) "find" 7 i.qty
+              | None -> Alcotest.fail "item 7 missing");
+              Alcotest.(check (option (pair int int)))
+                "find miss" None
+                (Option.map (fun (o, (i : item)) -> (o, i.qty))
+                   (Client.coll_find c ~coll:"item" ~index:"id" Gkey.int 42 item_cls)));
+          (* a named mutation is a one-round-trip read-modify-write *)
+          let updated =
+            Client.with_txn c (fun () ->
+                Client.coll_mutate c ~coll:"item" ~index:"id" ~mutation:"bump" Gkey.int 7 item_cls
+                  ~arg:(fun w -> Tdb_pickle.Pickle.int w 5))
+          in
+          Alcotest.(check int) "mutated" 12 updated.qty;
+          (* unique index violations surface as typed wire errors *)
+          Client.begin_ c;
+          (match Client.coll_insert c ~coll:"item" item_cls { id = 3; qty = 0; label = "dup" } with
+          | _ -> Alcotest.fail "duplicate key accepted"
+          | exception Client.Server_error { tag = "duplicate_key"; _ } -> ());
+          Client.abort c;
+          let all =
+            Client.with_txn c (fun () -> Client.coll_scan c ~coll:"item" ~index:"id" Gkey.int item_cls)
+          in
+          Alcotest.(check int) "scan size" 10 (List.length all)))
+
+(* --- session hygiene --- *)
+
+(* A client that vanishes mid-transaction must not strand its locks: the
+   server aborts the session on disconnect, and a second client gets the
+   exclusive lock well within its timeout. *)
+let test_disconnect_releases_locks () =
+  with_server ~lock_timeout:5.0 (fun env ->
+      let c0 = Client.connect env.addr in
+      let oid =
+        Client.with_txn c0 (fun () -> Client.insert c0 item_cls { id = 0; qty = 0; label = "l" })
+      in
+      Client.close c0;
+      let a = Client.connect env.addr in
+      Client.begin_ a;
+      Client.update a item_cls oid { id = 0; qty = 666; label = "a" };
+      (* [a] now holds the exclusive lock — and dies without a word *)
+      Client.disconnect_abruptly a;
+      let b = Client.connect env.addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close b)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          Client.with_txn b (fun () -> Client.update b item_cls oid { id = 0; qty = 1; label = "b" });
+          Alcotest.(check bool) "lock released promptly" true (Unix.gettimeofday () -. t0 < 4.0);
+          Client.with_txn b (fun () ->
+              let v = Client.read b item_cls oid in
+              Alcotest.(check int) "dead session's write discarded" 1 v.qty));
+      Alcotest.(check int) "no locks held" 0 (Object_store.held_count env.os))
+
+(* An idle session is reaped after [idle_timeout] and its transaction is
+   aborted. *)
+let test_idle_timeout () =
+  with_server
+    ~config:{ Server.default_config with Server.idle_timeout = 0.3 }
+    ~lock_timeout:5.0
+    (fun env ->
+      let c0 = Client.connect env.addr in
+      let oid =
+        Client.with_txn c0 (fun () -> Client.insert c0 item_cls { id = 0; qty = 0; label = "l" })
+      in
+      Client.close c0;
+      let a = Client.connect env.addr in
+      Client.begin_ a;
+      Client.update a item_cls oid { id = 0; qty = 666; label = "a" };
+      Thread.delay 1.0;
+      (* the server has dropped [a]; its lock is gone *)
+      let b = Client.connect env.addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close b)
+        (fun () ->
+          Client.with_txn b (fun () -> Client.update b item_cls oid { id = 0; qty = 2; label = "b" }));
+      Alcotest.(check bool) "reaped session errors out" true
+        (match Client.begin_ a with _ -> false | exception _ -> true);
+      Alcotest.(check int) "no locks held" 0 (Object_store.held_count env.os))
+
+(* --- the acceptance run: concurrent sessions + group commit --- *)
+
+(* Four client sessions commit interleaved TPC-B transactions durably over
+   the wire. The balances must add up (serializable interleaving), and
+   with group commit on, the coalesced barriers must cost fewer one-way
+   counter bumps than there were durable commits. *)
+let test_e2e_group_commit () =
+  let r = Tdb_tpcb.Net_driver.run ~clients:4 ~txns_per_client:12 ~group_commit:true () in
+  Alcotest.(check int) "all transactions committed" 48 r.Tdb_tpcb.Net_driver.committed;
+  Alcotest.(check bool) "balances consistent" true r.Tdb_tpcb.Net_driver.balance_ok;
+  Alcotest.(check bool)
+    (Printf.sprintf "coalesced: %d barriers for %d durable commits" r.Tdb_tpcb.Net_driver.barriers
+       r.Tdb_tpcb.Net_driver.durable_requests)
+    true
+    (r.Tdb_tpcb.Net_driver.barriers < r.Tdb_tpcb.Net_driver.durable_requests)
+
+(* Control: with group commit off every durable commit pays its own
+   barrier. *)
+let test_e2e_no_group_commit () =
+  let r = Tdb_tpcb.Net_driver.run ~clients:4 ~txns_per_client:4 ~group_commit:false () in
+  Alcotest.(check bool) "balances consistent" true r.Tdb_tpcb.Net_driver.balance_ok;
+  Alcotest.(check int) "one barrier per durable commit" r.Tdb_tpcb.Net_driver.durable_requests
+    r.Tdb_tpcb.Net_driver.barriers
+
+let test_stats_counters () =
+  with_server (fun env ->
+      let clients = List.init 4 (fun _ -> Client.connect env.addr) in
+      List.iteri
+        (fun i c ->
+          Client.with_txn c (fun () ->
+              ignore (Client.coll_insert c ~coll:"item" item_cls { id = i; qty = i; label = "s" })))
+        clients;
+      let s =
+        match clients with c :: _ -> Client.stats c | [] -> Alcotest.fail "no clients"
+      in
+      Alcotest.(check bool) "live sessions" true (s.Proto.s_sessions >= 4);
+      Alcotest.(check bool) "sessions counted" true (s.Proto.s_sessions_total >= 4);
+      Alcotest.(check bool) "commits counted" true (s.Proto.s_committed >= 4);
+      List.iter Client.close clients;
+      ignore (Sys.opaque_identity env.srv))
+
+let () =
+  Alcotest.run "tdb_server"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "typed objects + roots" `Quick test_rpc_objects;
+          Alcotest.test_case "collections + mutations" `Quick test_rpc_collections;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "disconnect releases locks" `Quick test_disconnect_releases_locks;
+          Alcotest.test_case "idle timeout reaps session" `Slow test_idle_timeout;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        ] );
+      ( "e2e",
+        [
+          Alcotest.test_case "4 concurrent clients, group commit" `Slow test_e2e_group_commit;
+          Alcotest.test_case "group commit off control" `Slow test_e2e_no_group_commit;
+        ] );
+    ]
