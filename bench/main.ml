@@ -21,6 +21,49 @@ let pick_scale = function
   | s -> invalid_arg (Printf.sprintf "unknown scale %S (quick|default|paper)" s)
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output (--json): the perf trajectory artifacts      *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let json_of_result (r : Runner.result) : string =
+  Printf.sprintf
+    "    { \"label\": %S, \"txns\": %d, \"avg_ms\": %.4f, \"p95_ms\": %.4f,\n\
+    \      \"cpu_avg_ms\": %.4f, \"io_avg_ms\": %.4f, \"ops_per_s\": %.1f,\n\
+    \      \"bytes_per_txn\": %.1f, \"db_size\": %d, \"live_bytes\": %d,\n\
+    \      \"alloc_words_per_txn\": %.0f,\n\
+    \      \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f }"
+    r.Runner.label r.Runner.txns r.Runner.avg_ms r.Runner.p95_ms r.Runner.cpu_avg_ms r.Runner.io_avg_ms
+    (if r.Runner.avg_ms > 0. then 1000. /. r.Runner.avg_ms else 0.)
+    r.Runner.bytes_per_txn r.Runner.db_size r.Runner.live_bytes r.Runner.alloc_words_per_txn
+    r.Runner.cache_hits r.Runner.cache_misses (Runner.hit_rate r)
+
+let write_tpcb_json ~(scale_name : string) ~(idle : bool) (scale : Workload.scale)
+    (results : Runner.result list) : unit =
+  let body = String.concat ",\n" (List.map json_of_result results) in
+  write_file "BENCH_TPCB.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"bench\": \"tpcb\",\n\
+       \  \"scale\": { \"name\": %S, \"accounts\": %d, \"tellers\": %d, \"branches\": %d,\n\
+       \             \"transactions\": %d, \"measured\": %d, \"cache_bytes\": %d },\n\
+       \  \"idle_maintenance\": %b,\n\
+       \  \"systems\": [\n%s\n  ]\n}\n"
+       scale_name scale.Workload.accounts scale.Workload.tellers scale.Workload.branches
+       scale.Workload.transactions scale.Workload.measured scale.Workload.cache_bytes idle body)
+
+let write_micro_json (results : (string * float) list) : unit =
+  let body =
+    String.concat ",\n"
+      (List.map (fun (name, ns) -> Printf.sprintf "    { \"name\": %S, \"ns_per_op\": %.0f }" name ns) results)
+  in
+  write_file "BENCH_MICRO.json" (Printf.sprintf "{\n  \"bench\": \"micro\",\n  \"results\": [\n%s\n  ]\n}\n" body)
+
+(* ------------------------------------------------------------------ *)
 (* Figure 9 + Figure 10                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -35,7 +78,7 @@ let figure9 (scale : Workload.scale) =
     scale.Workload.measured
     (scale.Workload.cache_bytes / 1024)
 
-let figure10 ?(idle = true) (scale : Workload.scale) =
+let figure10 ?(idle = true) (scale : Workload.scale) : Runner.result list =
   figure9 scale;
   Printf.printf "== Figure 10: average response time per TPC-B transaction ==\n\n";
   let idle_every = if idle then Some 500 else None in
@@ -60,7 +103,8 @@ let figure10 ?(idle = true) (scale : Workload.scale) =
   Printf.printf "detail: %s\n        %s\n        %s\n\n"
     (Format.asprintf "%a" Runner.pp_result bdb)
     (Format.asprintf "%a" Runner.pp_result tdb)
-    (Format.asprintf "%a" Runner.pp_result tdbs)
+    (Format.asprintf "%a" Runner.pp_result tdbs);
+  [ bdb; tdb; tdbs ]
 
 (* ------------------------------------------------------------------ *)
 (* Figure 11                                                           *)
@@ -96,7 +140,7 @@ let figure11 (scale : Workload.scale) =
 (* Micro-benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
-let micro () =
+let micro () : (string * float) list =
   let open Bechamel in
   let open Toolkit in
   Printf.printf "== Micro-benchmarks (Bechamel) ==\n\n";
@@ -116,11 +160,25 @@ let micro () =
   let cid = Tdb_chunk.Chunk_store.allocate cs in
   Tdb_chunk.Chunk_store.write cs cid data_1k;
   Tdb_chunk.Chunk_store.commit cs;
+  (* same store shape with the verified-chunk cache disabled: the cold
+     read path (fetch + decrypt + hash check) for comparison *)
+  let _, store0 = Tdb_platform.Untrusted_store.open_mem () in
+  let _, counter0 = Tdb_platform.One_way_counter.open_mem () in
+  let cs0 =
+    Tdb_chunk.Chunk_store.create
+      ~config:{ Tdb_chunk.Config.default with Tdb_chunk.Config.chunk_cache_bytes = 0 }
+      ~secret:(Tdb_platform.Secret_store.of_seed "bench") ~counter:counter0 store0
+  in
+  let cid0 = Tdb_chunk.Chunk_store.allocate cs0 in
+  Tdb_chunk.Chunk_store.write cs0 cid0 data_1k;
+  Tdb_chunk.Chunk_store.commit cs0;
+  let mac_key = Tdb_crypto.Hmac.precompute (module Tdb_crypto.Sha256) ~key:"k" in
   let tests =
     [
       Test.make ~name:"sha1/1KiB" (Staged.stage (fun () -> Tdb_crypto.Sha1.digest data_1k));
       Test.make ~name:"sha256/1KiB" (Staged.stage (fun () -> Tdb_crypto.Sha256.digest data_1k));
       Test.make ~name:"hmac-sha256/1KiB" (Staged.stage (fun () -> Tdb_crypto.Hmac.sha256 ~key:"k" data_1k));
+      Test.make ~name:"hmac-sha256-pre/1KiB" (Staged.stage (fun () -> Tdb_crypto.Hmac.mac mac_key data_1k));
       Test.make ~name:"aes128/block"
         (Staged.stage (fun () ->
              Tdb_crypto.Aes.encrypt_block aes_key ~src:block16 ~src_off:0 ~dst:block16 ~dst_off:0));
@@ -134,6 +192,7 @@ let micro () =
         (Staged.stage (fun () -> Tdb_crypto.Cbc.encrypt cbc ~iv:(String.make 16 'i') data_1k));
       Test.make ~name:"cbc-aes-decrypt/1KiB" (Staged.stage (fun () -> Tdb_crypto.Cbc.decrypt cbc sealed));
       Test.make ~name:"chunk-read/1KiB" (Staged.stage (fun () -> Tdb_chunk.Chunk_store.read cs cid));
+      Test.make ~name:"chunk-read-nocache/1KiB" (Staged.stage (fun () -> Tdb_chunk.Chunk_store.read cs0 cid0));
       Test.make ~name:"chunk-write+commit/1KiB"
         (Staged.stage (fun () ->
              Tdb_chunk.Chunk_store.write cs cid data_1k;
@@ -149,17 +208,19 @@ let micro () =
         (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
         Instance.monotonic_clock raw
     in
-    Hashtbl.iter
-      (fun name est ->
+    Hashtbl.fold
+      (fun name est acc ->
         let v = match Analyze.OLS.estimates est with Some [ x ] -> x | _ -> nan in
-        Printf.printf "%-32s %12.0f ns/op\n%!" name v)
-      ols
+        Printf.printf "%-32s %12.0f ns/op\n%!" name v;
+        (name, v) :: acc)
+      ols []
   in
-  List.iter run tests;
+  let results = List.concat_map run tests in
   Printf.printf
     "\n(compare the block-cipher costs against the ~3.5 ms log force that\n\
      dominates a transaction: crypto CPU is a small fraction, matching the\n\
-     paper's < 10%% claim)\n\n"
+     paper's < 10%% claim)\n\n";
+  results
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -227,12 +288,12 @@ let server_bench ?(txns_per_client = 50) ?(client_counts = [ 1; 2; 4; 8 ]) () =
 let usage () =
   print_endline
     "usage: bench/main.exe [all|footprint|tpcb|utilization|micro|ablation|server] [--scale quick|default|paper] \
-     [--no-idle]";
+     [--no-idle] [--json]";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let scale = ref "default" and idle = ref true and cmds = ref [] in
+  let scale = ref "default" and idle = ref true and json = ref false and cmds = ref [] in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -241,6 +302,9 @@ let () =
     | "--no-idle" :: rest ->
         idle := false;
         parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | c :: rest ->
         cmds := c :: !cmds;
@@ -248,20 +312,29 @@ let () =
   in
   parse args;
   let cmds = match List.rev !cmds with [] -> [ "all" ] | l -> l in
-  let scale = pick_scale !scale in
+  let scale_name = !scale in
+  let scale = pick_scale scale_name in
+  let tpcb () =
+    let rs = figure10 ~idle:!idle scale in
+    if !json then write_tpcb_json ~scale_name ~idle:!idle scale rs
+  in
+  let micro_bench () =
+    let rs = micro () in
+    if !json then write_micro_json rs
+  in
   List.iter
     (fun cmd ->
       match cmd with
       | "all" ->
           Footprint.run ();
-          figure10 ~idle:!idle scale;
+          tpcb ();
           figure11 scale;
-          micro ();
+          micro_bench ();
           ablation scale
       | "footprint" -> Footprint.run ()
-      | "tpcb" | "figure10" -> figure10 ~idle:!idle scale
+      | "tpcb" | "figure10" -> tpcb ()
       | "utilization" | "figure11" -> figure11 scale
-      | "micro" -> micro ()
+      | "micro" -> micro_bench ()
       | "ablation" -> ablation scale
       | "server" -> server_bench ()
       | _ -> usage ())

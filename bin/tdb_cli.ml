@@ -48,6 +48,13 @@ let status_cmd =
       | l -> String.concat ", " l);
     Printf.printf "session:      %d commits, %d checkpoints, %d cleaning passes\n" st.Tdb.Chunk_store.commits
       st.Tdb.Chunk_store.checkpoints st.Tdb.Chunk_store.clean_passes;
+    let ch = st.Tdb.Chunk_store.cache_hits and cm = st.Tdb.Chunk_store.cache_misses in
+    Printf.printf "chunk cache:  %s of %s (%d chunks), %d hits / %d misses%s, %d evictions\n"
+      (human_bytes (Tdb.Chunk_store.cache_bytes cs))
+      (human_bytes (Tdb.Chunk_store.cache_budget cs))
+      (Tdb.Chunk_store.cache_resident cs) ch cm
+      (if ch + cm > 0 then Printf.sprintf " (%.0f%% hit)" (100. *. float_of_int ch /. float_of_int (ch + cm)) else "")
+      st.Tdb.Chunk_store.cache_evictions;
     Tdb.close db
   in
   Cmd.v (Cmd.info "status" ~doc:"Open a database (running recovery + tamper checks) and print its state.")
@@ -177,7 +184,11 @@ let remote_status_cmd =
         Printf.printf "chunk commits:   %d (%d durable)\n" s.Tdb.Proto.s_commits s.Tdb.Proto.s_durable_commits;
         Printf.printf "one-way counter: %Ld\n" s.Tdb.Proto.s_counter;
         Printf.printf "group commit:    %d barriers covering %d commits\n" s.Tdb.Proto.s_gc_batches
-          s.Tdb.Proto.s_gc_coalesced)
+          s.Tdb.Proto.s_gc_coalesced;
+        let ch = s.Tdb.Proto.s_cache_hits and cm = s.Tdb.Proto.s_cache_misses in
+        Printf.printf "chunk cache:     %d hits / %d misses%s, %d evictions\n" ch cm
+          (if ch + cm > 0 then Printf.sprintf " (%.0f%% hit)" (100. *. float_of_int ch /. float_of_int (ch + cm)) else "")
+          s.Tdb.Proto.s_cache_evictions)
   in
   Cmd.v
     (Cmd.info "remote-status" ~doc:"Print a running server's session, commit and group-commit counters.")

@@ -37,6 +37,9 @@ type stats = {
   mutable grow_policy : int;
   mutable grow_fallback : int;
   mutable grow_backstop : int;
+  mutable cache_hits : int; (* verified-chunk cache counters, mirrored *)
+  mutable cache_misses : int;
+  mutable cache_evictions : int;
 }
 
 type t = {
@@ -48,6 +51,7 @@ type t = {
   map : Location_map.t;
   pending : (chunk_id, op) Hashtbl.t; (* current batch *)
   allocated : (chunk_id, unit) Hashtbl.t; (* allocated, never yet written *)
+  cache : Chunk_cache.t; (* verified-chunk read cache (committed state only) *)
   mutable next_id : chunk_id;
   mutable seq : int; (* last commit sequence number *)
   mutable chain : string; (* commit-chain MAC value *)
@@ -57,12 +61,20 @@ type t = {
   mutable snapshots : (int * snapshot) list;
   mutable next_snap_id : int;
   mutable cleaning : bool;
+  mutable promotable : bool;
+      (* nondurable commits sit above the last durable point; the next
+         checkpoint will promote them and must bump the one-way counter *)
+  mutable barrier_inflight : bool;
+      (* a staged barrier is between [barrier_begin] and [barrier_finish]:
+         its counter increment is pending, so checkpoints (whose promote
+         protocol needs the hardware counter in step) are deferred *)
   stats : stats;
 }
 
 let fresh_stats () =
   { commits = 0; durable_commits = 0; checkpoints = 0; clean_passes = 0; segments_cleaned = 0;
-    chunks_relocated = 0; tampers = 0; bytes_data = 0; bytes_map = 0; bytes_commit = 0; grow_policy = 0; grow_fallback = 0; grow_backstop = 0 }
+    chunks_relocated = 0; tampers = 0; bytes_data = 0; bytes_map = 0; bytes_commit = 0; grow_policy = 0; grow_fallback = 0; grow_backstop = 0;
+    cache_hits = 0; cache_misses = 0; cache_evictions = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Low-level record I/O                                                *)
@@ -214,6 +226,20 @@ let write_anchor t ~(root : entry option) : unit =
     passes, at snapshots and at close (the paper defers this work to idle
     periods). *)
 let do_checkpoint t : unit =
+  (* A checkpoint *promotes*: once the anchor captures state that includes
+     nondurable commits, recovery reproduces them even though no durable
+     commit vouched for them. Promotion is a durability event, so it must
+     advance the one-way counter like a durable commit does — otherwise
+     destroying the freshest anchor slot rolls the store back to the
+     previous checkpoint without tripping the replay check (found by the
+     tamper sweep at --txns 10: 17 silent flips, all in the newest anchor
+     frame). Protocol mirrors [commit]: bump the expected value, write it
+     durably (the anchor write syncs), then increment the hardware — a
+     crash between the two is repaired by recovery's hw = c_last - 1 path. *)
+  if t.barrier_inflight then
+    invalid_arg "Chunk_store.checkpoint: staged barrier in flight";
+  let promote = t.promotable && t.sec.Security.enabled in
+  if promote then t.last_counter <- Int64.add t.last_counter 1L;
   let root =
     Location_map.checkpoint t.map
       ~write_node:(fun payload -> append_payload t Map_node ~version:t.seq payload)
@@ -221,6 +247,12 @@ let do_checkpoint t : unit =
   in
   Tdb_platform.Untrusted_store.sync t.store;
   write_anchor t ~root;
+  if promote then begin
+    let hw = Tdb_platform.One_way_counter.increment t.counter in
+    if not (Int64.equal hw t.last_counter) then
+      tamper "one-way counter advanced externally (%Ld, expected %Ld)" hw t.last_counter
+  end;
+  t.promotable <- false;
   Log.end_checkpoint t.log;
   t.commits_since_cp <- 0;
   t.stats.checkpoints <- t.stats.checkpoints + 1
@@ -341,6 +373,14 @@ let ensure_free t ~(segs : int) : unit =
         t.stats.grow_policy <- t.stats.grow_policy + n;
         Log.grow t.log ~segments:n
       end
+      else if t.barrier_inflight then begin
+        (* checkpoints (and hence cleaning passes, which end in one) are
+           deferred while a staged barrier's counter increment is pending;
+           just grow, the window is short *)
+        let n = max (grow_step t) (segs - Log.free_count t.log) in
+        t.stats.grow_fallback <- t.stats.grow_fallback + n;
+        Log.grow t.log ~segments:n
+      end
       else begin
         (* if everything cleanable is still in the residual window,
            checkpoint first: that frees empty segments and unlocks the
@@ -408,11 +448,20 @@ let read t (cid : chunk_id) : string =
   | None -> (
       match Location_map.find t.map (fetch t) cid with
       | None -> raise (Not_written cid)
-      | Some e ->
-          let plain = fetch t ~what:(Printf.sprintf "chunk %d" cid) e in
-          let cid', version, data = try parse_data_payload plain with Tdb_pickle.Pickle.Error _ -> tamper "malformed chunk %d" cid in
-          if (not (Int.equal cid' cid)) || not (Int.equal version e.version) then tamper "chunk %d identity mismatch" cid;
-          data )
+      | Some e -> (
+          (* The map entry's version is the coherence token: a cached
+             payload is served only at the exact committed version, so
+             writes, deallocations and recovery need no explicit
+             invalidation sweep — and cleaning, which preserves versions,
+             costs the cache nothing. *)
+          match Chunk_cache.find t.cache cid ~version:e.version with
+          | Some data -> data
+          | None ->
+              let plain = fetch t ~what:(Printf.sprintf "chunk %d" cid) e in
+              let cid', version, data = try parse_data_payload plain with Tdb_pickle.Pickle.Error _ -> tamper "malformed chunk %d" cid in
+              if (not (Int.equal cid' cid)) || not (Int.equal version e.version) then tamper "chunk %d identity mismatch" cid;
+              Chunk_cache.put t.cache cid ~version:e.version data;
+              data ) )
 
 let deallocate t (cid : chunk_id) : unit =
   if not (is_allocated t cid) then raise (Not_allocated cid);
@@ -482,17 +531,24 @@ let commit ?(durable = true) t : unit =
             (match old with Some o -> Log.obsolete_entry t.log o | None -> ());
             List.iter (Log.obsolete_entry t.log) obsolete_nodes;
             Hashtbl.remove t.allocated cid;
+            (* write-through: refresh the verified cache at the new
+               committed version so read-after-write stays a hit *)
+            Chunk_cache.put t.cache cid ~version:e.version data;
             writes := (cid, e) :: !writes;
             note_cost (48 + String.length e.hash)
         | Op_dealloc ->
             let old, obsolete_nodes = Location_map.remove t.map (fetch t) cid in
             (match old with Some o -> Log.obsolete_entry t.log o | None -> ());
             List.iter (Log.obsolete_entry t.log) obsolete_nodes;
+            Chunk_cache.remove t.cache cid;
             deallocs := cid :: !deallocs;
             note_cost 10)
       t.pending;
     Hashtbl.reset t.pending;
     flush_group ~last:true;
+    (* a durable commit covers every nondurable one before it; a
+       nondurable commit leaves state the next checkpoint would promote *)
+    t.promotable <- not durable;
     t.stats.commits <- t.stats.commits + 1;
     if durable then begin
       Tdb_platform.Untrusted_store.sync t.store;
@@ -506,8 +562,9 @@ let commit ?(durable = true) t : unit =
     end;
     t.commits_since_cp <- t.commits_since_cp + 1;
     if
-      t.commits_since_cp >= t.cfg.Config.checkpoint_every
-      || Log.residual_bytes t.log >= t.cfg.Config.checkpoint_residual_bytes
+      (not t.barrier_inflight)
+      && (t.commits_since_cp >= t.cfg.Config.checkpoint_every
+         || Log.residual_bytes t.log >= t.cfg.Config.checkpoint_residual_bytes)
     then begin
       (* reserve space for the map nodes the checkpoint will write, so
          checkpoints never have to grow the store outside the policy *)
@@ -539,11 +596,16 @@ type barrier_token = {
 let barrier_begin t : barrier_token =
   if Hashtbl.length t.pending > 0 then
     invalid_arg "Chunk_store.durable_barrier: commit or abort the batch first";
+  if t.barrier_inflight then invalid_arg "Chunk_store.barrier_begin: barrier already in flight";
   ensure_free t ~segs:2;
   t.seq <- t.seq + 1;
   if t.sec.Security.enabled then t.last_counter <- Int64.add t.last_counter 1L;
   append_commit_record t
     { c_seq = t.seq; c_kind = App { durable = true }; c_counter = t.last_counter; c_writes = []; c_deallocs = [] };
+  (* the barrier record covers everything before it; commits landing
+     during the sync window set the flag again *)
+  t.promotable <- false;
+  t.barrier_inflight <- true;
   t.stats.commits <- t.stats.commits + 1;
   { bt_counter = t.last_counter; bt_eligible = Log.zero_usage_segments t.log }
 
@@ -567,6 +629,7 @@ let barrier_sync t (tok : barrier_token) : unit =
     until the next barrier, because a crash now recovers to a state
     (prefix through this barrier's record) that still reads it. *)
 let barrier_finish t (tok : barrier_token) : unit =
+  t.barrier_inflight <- false;
   Log.barrier ~eligible:tok.bt_eligible t.log;
   t.stats.durable_commits <- t.stats.durable_commits + 1;
   t.commits_since_cp <- t.commits_since_cp + 1;
@@ -679,6 +742,7 @@ let make_empty (cfg : Config.t) (sec : Security.t) counter store : t =
     map = Location_map.create ~fanout:cfg.Config.map_fanout ~depth:cfg.Config.map_depth;
     pending = Hashtbl.create 16;
     allocated = Hashtbl.create 16;
+    cache = Chunk_cache.create ~budget:cfg.Config.chunk_cache_bytes;
     next_id = reserved_ids;
     seq = 0;
     chain = "";
@@ -688,6 +752,8 @@ let make_empty (cfg : Config.t) (sec : Security.t) counter store : t =
     snapshots = [];
     next_snap_id = 1;
     cleaning = false;
+    promotable = false;
+    barrier_inflight = false;
     stats = fresh_stats ();
   }
 
@@ -882,7 +948,21 @@ let close t : unit =
 (* Introspection                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let stats t = t.stats
+let stats t =
+  let hits, misses, evictions = Chunk_cache.stats t.cache in
+  t.stats.cache_hits <- hits;
+  t.stats.cache_misses <- misses;
+  t.stats.cache_evictions <- evictions;
+  t.stats
+
+let cache_resident t = Chunk_cache.resident t.cache
+let cache_bytes t = Chunk_cache.total_size t.cache
+let cache_budget t = Chunk_cache.budget t.cache
+
+let set_cache_budget t b =
+  if b < 0 then invalid_arg "Chunk_store.set_cache_budget: negative";
+  Chunk_cache.set_budget t.cache b
+
 let counter_value t = t.last_counter
 let utilization t = Log.utilization t.log
 let live_bytes t = Log.live_bytes t.log

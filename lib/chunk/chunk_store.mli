@@ -174,9 +174,35 @@ type stats = {
   mutable grow_policy : int;  (** segments added because utilization ≥ max *)
   mutable grow_fallback : int;  (** segments added when nothing was cleanable *)
   mutable grow_backstop : int;  (** segments added by the append backstop *)
+  mutable cache_hits : int;  (** verified-chunk cache hits (reads served
+                                 without fetch/verify/decrypt) *)
+  mutable cache_misses : int;  (** verified-chunk cache misses *)
+  mutable cache_evictions : int;  (** LRU evictions under budget pressure *)
 }
 
 val stats : t -> stats
+
+(** {2 Verified-chunk read cache}
+
+    {!read} consults a budgeted LRU of decrypted, hash-verified payloads
+    ({!Chunk_cache}) before paying the full fetch/verify/decrypt path.
+    Coherence is by committed version: entries are served only at the
+    exact version the location map holds, refreshed write-through at
+    commit, dropped on deallocation, and naturally void after recovery
+    (the cache is rebuilt empty). Budget comes from
+    {!Config.t.chunk_cache_bytes}. *)
+
+val cache_resident : t -> int
+(** Entries currently cached. *)
+
+val cache_bytes : t -> int
+(** Budget-accounted bytes currently cached. *)
+
+val cache_budget : t -> int
+
+val set_cache_budget : t -> int -> unit
+(** Adjust the cache budget at runtime (evicts immediately if over).
+    @raise Invalid_argument on a negative budget. *)
 
 val counter_value : t -> int64
 (** The database's view of the one-way counter (advanced by durable

@@ -33,6 +33,9 @@ type t = {
   map_fanout : int;
   map_depth : int; (** map covers [map_fanout ^ map_depth] chunk ids *)
   clean_batch : int; (** max segments reclaimed per cleaning pass *)
+  chunk_cache_bytes : int;
+      (** budget for the verified-chunk read cache (decrypted plaintext
+          held inside the trusted boundary); 0 disables it *)
 }
 
 let default =
@@ -49,6 +52,7 @@ let default =
     map_fanout = 64;
     map_depth = 4;
     clean_batch = 8;
+    chunk_cache_bytes = 1024 * 1024;
   }
 
 (** Largest chunk payload storable with this configuration (one record must
@@ -64,4 +68,5 @@ let validate (c : t) =
   if c.map_fanout < 2 || c.map_depth < 2 then invalid_arg "Config: map too small";
   if c.checkpoint_every < 1 then invalid_arg "Config: checkpoint_every < 1";
   if c.checkpoint_residual_bytes < 4 * c.segment_size then
-    invalid_arg "Config: checkpoint_residual_bytes must cover a few segments"
+    invalid_arg "Config: checkpoint_residual_bytes must cover a few segments";
+  if c.chunk_cache_bytes < 0 then invalid_arg "Config: chunk_cache_bytes negative"

@@ -36,6 +36,11 @@ type t = {
   map_fanout : int;
   map_depth : int;  (** the map covers [map_fanout ^ map_depth] chunk ids *)
   clean_batch : int;  (** max segments reclaimed per cleaning pass *)
+  chunk_cache_bytes : int;
+      (** budget for the verified-chunk read cache ({!Chunk_cache}):
+          decrypted, hash-verified payloads held inside the trusted
+          boundary so repeated reads skip the fetch/verify/decrypt path;
+          0 disables it *)
 }
 
 val default : t

@@ -17,6 +17,7 @@ type t = {
   hash : (module Hash.S);
   hash_len : int;
   mac_key : string; (* anchor + commit chain MAC *)
+  mac_pre : Hmac.key; (* same key, ipad/opad precompressed (hot path) *)
   iv_gen : Drbg.t;
 }
 
@@ -38,12 +39,14 @@ let create (config : Config.t) (secret : Tdb_platform.Secret_store.t) : t =
               (module Triple.Xtea3)
               ~secret:(Tdb_platform.Secret_store.derive_len secret "chunk-cipher" Triple.Xtea3.key_size))
   in
+  let mac_key = Tdb_platform.Secret_store.derive secret "anchor-mac" in
   {
     enabled = config.Config.security;
     cipher;
     hash = (module H);
     hash_len = (if config.Config.security then H.digest_size else 0);
-    mac_key = Tdb_platform.Secret_store.derive secret "anchor-mac";
+    mac_key;
+    mac_pre = Hmac.precompute (module Sha256) ~key:mac_key;
     iv_gen = Drbg.create ~seed:(Tdb_platform.Secret_store.derive secret "iv-seed");
   }
 
@@ -79,7 +82,7 @@ let check_label (t : t) ~(expected : string) (stored : string) ~(what : string) 
     (torn anchor writes) but offers no protection against forgery — exactly
     the paper's TDB-without-security mode. *)
 let mac (t : t) (data : string) : string =
-  if t.enabled then Hmac.sha256 ~key:t.mac_key data else Sha256.digest data
+  if t.enabled then Hmac.mac t.mac_pre data else Sha256.digest data
 
 let mac_len = Sha256.digest_size
 

@@ -10,6 +10,9 @@ type t = {
   hash : (module Tdb_crypto.Hash.S);
   hash_len : int;
   mac_key : string;
+  mac_pre : Tdb_crypto.Hmac.key;  (** [mac_key] with the HMAC key pads
+                                      precompressed — the per-commit MAC
+                                      fast path *)
   iv_gen : Tdb_crypto.Drbg.t;
 }
 

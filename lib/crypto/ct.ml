@@ -1,4 +1,14 @@
-(** Constant-time comparison, for MAC verification. *)
+(** Constant-time primitives, for MAC verification and padding checks. *)
+
+(* Mask combinators over small non-negative ints (byte values, block
+   sizes): all-ones / all-zeros results compose with [land]/[lor] without
+   branching on secret data. *)
+
+let lt_mask (a : int) (b : int) : int = (a - b) asr (Sys.int_size - 1)
+
+let eq_mask (a : int) (b : int) : int =
+  let x = a lxor b in
+  lnot ((x lor -x) asr (Sys.int_size - 1))
 
 let equal_string (a : string) (b : string) : bool =
   if String.length a <> String.length b then false

@@ -11,6 +11,10 @@ module type S = sig
   (** Incremental hashing context. *)
 
   val init : unit -> ctx
+
+  val copy : ctx -> ctx
+  (** Independent clone of the running state (HMAC key-context reuse). *)
+
   val feed : ctx -> ?off:int -> ?len:int -> string -> unit
   val feed_bytes : ctx -> ?off:int -> ?len:int -> bytes -> unit
 

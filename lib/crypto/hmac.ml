@@ -1,26 +1,52 @@
 (** HMAC (RFC 2104) over any hash from this library.
 
     TDB signs the anchor and the commit chain with [hmac_sha256] keyed by a
-    key derived from the platform secret store. *)
+    key derived from the platform secret store. Those MACs recompute under
+    the {e same} key on every commit, so {!precompute} exposes the classic
+    HMAC optimization: hash the ipad/opad key blocks once and clone the
+    resulting contexts per message, saving two block compressions (and the
+    pad allocations) per MAC — half the work for short inputs like commit
+    records. *)
 
-let compute (module H : Hash.S) ~(key : string) (data : string) : string =
+(* Both key pads, with an over-long key digested first per the RFC. *)
+let pads (module H : Hash.S) ~(key : string) : string * string =
   let key = if String.length key > H.block_size then H.digest key else key in
   let pad c =
     String.init H.block_size (fun i ->
         let k = if i < String.length key then Char.code key.[i] else 0 in
         Char.chr (k lxor c))
   in
-  let ipad = pad 0x36 and opad = pad 0x5c in
-  let inner =
-    let c = H.init () in
-    H.feed c ipad;
-    H.feed c data;
-    H.get c
-  in
+  (pad 0x36, pad 0x5c)
+
+(** A prepared key: the inner context primed with [key xor ipad] and the
+    outer context primed with [key xor opad]. *)
+type key = Key : (module Hash.S with type ctx = 'c) * 'c * 'c -> key
+
+let precompute (module H : Hash.S) ~(key : string) : key =
+  let ipad, opad = pads (module H) ~key in
+  let inner = H.init () in
+  H.feed inner ipad;
+  let outer = H.init () in
+  H.feed outer opad;
+  Key ((module H), inner, outer)
+
+let mac (Key ((module H), inner0, outer0) : key) (data : string) : string =
+  let inner = H.copy inner0 in
+  H.feed inner data;
+  let outer = H.copy outer0 in
+  H.feed outer (H.get inner);
+  H.get outer
+
+let compute (module H : Hash.S) ~(key : string) (data : string) : string =
+  let ipad, opad = pads (module H) ~key in
   let c = H.init () in
-  H.feed c opad;
-  H.feed c inner;
-  H.get c
+  H.feed c ipad;
+  H.feed c data;
+  let inner = H.get c in
+  let o = H.init () in
+  H.feed o opad;
+  H.feed o inner;
+  H.get o
 
 let sha1 ~key data = compute (module Sha1) ~key data
 let sha256 ~key data = compute (module Sha256) ~key data
@@ -30,15 +56,10 @@ let sha256 ~key data = compute (module Sha256) ~key data
 type ctx = Ctx : (module Hash.S with type ctx = 'c) * 'c * string -> ctx
 
 let init (module H : Hash.S) ~(key : string) : ctx =
-  let key = if String.length key > H.block_size then H.digest key else key in
-  let pad c =
-    String.init H.block_size (fun i ->
-        let k = if i < String.length key then Char.code key.[i] else 0 in
-        Char.chr (k lxor c))
-  in
+  let ipad, opad = pads (module H) ~key in
   let inner = H.init () in
-  H.feed inner (pad 0x36);
-  Ctx ((module H), inner, pad 0x5c)
+  H.feed inner ipad;
+  Ctx ((module H), inner, opad)
 
 let feed (Ctx ((module H), inner, _) : ctx) (data : string) : unit = H.feed inner data
 

@@ -6,6 +6,21 @@ val compute : (module Hash.S) -> key:string -> string -> string
 val sha1 : key:string -> string -> string
 val sha256 : key:string -> string -> string
 
+(** {1 Precomputed keys}
+
+    The anchor/commit-chain MACs reuse one key for the lifetime of the
+    store; preparing it once hashes the ipad/opad blocks ahead of time, so
+    each {!mac} clones the primed contexts instead of recompressing the
+    key pads — two block compressions saved per MAC. *)
+
+type key
+
+val precompute : (module Hash.S) -> key:string -> key
+
+val mac : key -> string -> string
+(** [mac k data] = [compute h ~key data] for the [h]/[key] given to
+    {!precompute}, at roughly half the cost for short inputs. *)
+
 (** {1 Incremental HMAC} (for streams, e.g. backups) *)
 
 type ctx

@@ -36,19 +36,29 @@ let copy c = { c with buf = Bytes.copy c.buf; w = Array.copy c.w }
 let mask = 0xFFFFFFFF
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
 
-(* Process one 64-byte block starting at [off] in [b]. *)
+(* Process one 64-byte block starting at [off] in [b]. The single bounds
+   check up front licenses the unsafe loads in the loops below — [w] is
+   always 80 wide, and every index is a compile-time-bounded function of
+   the loop counter. *)
 let process ctx (b : string) (off : int) =
+  if off < 0 || off + block_size > String.length b then invalid_arg "Sha1.process";
   let w = ctx.w in
   for t = 0 to 15 do
     let i = off + (4 * t) in
-    w.(t) <-
-      (Char.code b.[i] lsl 24)
-      lor (Char.code b.[i + 1] lsl 16)
-      lor (Char.code b.[i + 2] lsl 8)
-      lor Char.code b.[i + 3]
+    Array.unsafe_set w t
+      ((Char.code (String.unsafe_get b i) lsl 24)
+      lor (Char.code (String.unsafe_get b (i + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get b (i + 2)) lsl 8)
+      lor Char.code (String.unsafe_get b (i + 3)))
   done;
   for t = 16 to 79 do
-    w.(t) <- rotl (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16)) 1
+    Array.unsafe_set w t
+      (rotl
+         (Array.unsafe_get w (t - 3)
+         lxor Array.unsafe_get w (t - 8)
+         lxor Array.unsafe_get w (t - 14)
+         lxor Array.unsafe_get w (t - 16))
+         1)
   done;
   let a = ref ctx.h0
   and b' = ref ctx.h1
@@ -62,7 +72,7 @@ let process ctx (b : string) (off : int) =
       else if t < 60 then (!b' land !c lor (!b' land !d) lor (!c land !d), 0x8F1BBCDC)
       else (!b' lxor !c lxor !d, 0xCA62C1D6)
     in
-    let tmp = (rotl !a 5 + (f land mask) + !e + k + w.(t)) land mask in
+    let tmp = (rotl !a 5 + (f land mask) + !e + k + Array.unsafe_get w t) land mask in
     e := !d;
     d := !c;
     c := rotl !b' 30;

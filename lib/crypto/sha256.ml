@@ -40,20 +40,24 @@ let init () = { h = Array.copy h_init; total = 0; buf = Bytes.create block_size;
 let copy c = { c with h = Array.copy c.h; buf = Bytes.copy c.buf; w = Array.copy c.w }
 let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
+(* One bounds check per block licenses the unsafe loads below; [w] is
+   always 64 wide and [k] 64 wide, every index bounded by the loop. *)
 let process ctx (s : string) (off : int) =
+  if off < 0 || off + block_size > String.length s then invalid_arg "Sha256.process";
   let w = ctx.w in
   for t = 0 to 15 do
     let i = off + (4 * t) in
-    w.(t) <-
-      (Char.code s.[i] lsl 24)
-      lor (Char.code s.[i + 1] lsl 16)
-      lor (Char.code s.[i + 2] lsl 8)
-      lor Char.code s.[i + 3]
+    Array.unsafe_set w t
+      ((Char.code (String.unsafe_get s i) lsl 24)
+      lor (Char.code (String.unsafe_get s (i + 1)) lsl 16)
+      lor (Char.code (String.unsafe_get s (i + 2)) lsl 8)
+      lor Char.code (String.unsafe_get s (i + 3)))
   done;
   for t = 16 to 63 do
-    let s0 = rotr w.(t - 15) 7 lxor rotr w.(t - 15) 18 lxor (w.(t - 15) lsr 3) in
-    let s1 = rotr w.(t - 2) 17 lxor rotr w.(t - 2) 19 lxor (w.(t - 2) lsr 10) in
-    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
+    let w15 = Array.unsafe_get w (t - 15) and w2 = Array.unsafe_get w (t - 2) in
+    let s0 = rotr w15 7 lxor rotr w15 18 lxor (w15 lsr 3) in
+    let s1 = rotr w2 17 lxor rotr w2 19 lxor (w2 lsr 10) in
+    Array.unsafe_set w t ((Array.unsafe_get w (t - 16) + s0 + Array.unsafe_get w (t - 7) + s1) land mask)
   done;
   let h = ctx.h in
   let a = ref h.(0)
@@ -67,7 +71,7 @@ let process ctx (s : string) (off : int) =
   for t = 0 to 63 do
     let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
     let ch = (!e land !f) lxor (lnot !e land !g land mask) in
-    let t1 = (!hh + s1 + ch + k.(t) + w.(t)) land mask in
+    let t1 = (!hh + s1 + ch + Array.unsafe_get k t + Array.unsafe_get w t) land mask in
     let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
     let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
     let t2 = (s0 + maj) land mask in

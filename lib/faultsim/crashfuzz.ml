@@ -663,7 +663,8 @@ let json_summary ?group_commit ~trace ~(crash : crash_report) ~(tamper : tamper_
   (match group_commit with None -> () | Some r -> add_crash_report "group_commit" r);
   Buffer.add_string b
     (Printf.sprintf
-       "  \"tamper\": {\"image_bytes\": %d, \"flips\": %d, \"detected\": %d, \"harmless\": %d, \"silent\": %d}\n"
-       tamper.image_bytes tamper.flips tamper.detected tamper.harmless tamper.silent);
+       "  \"tamper\": {\"image_bytes\": %d, \"flips\": %d, \"detected\": %d, \"harmless\": %d, \"silent\": %d, \"silent_offsets\": [%s]}\n"
+       tamper.image_bytes tamper.flips tamper.detected tamper.harmless tamper.silent
+       (String.concat ", " (List.map string_of_int tamper.silent_offsets)));
   Buffer.add_string b "}";
   Buffer.contents b

@@ -123,6 +123,12 @@ let close t = with_mu t (fun () -> Chunk_store.close t.cs)
 let checkpoint t = with_mu t (fun () -> Chunk_store.checkpoint t.cs)
 let cache_stats t = Cache.stats t.cache
 
+let chunk_cache_stats t =
+  let st = Chunk_store.stats t.cs in
+  (st.Chunk_store.cache_hits, st.Chunk_store.cache_misses, st.Chunk_store.cache_evictions)
+
+let set_chunk_cache_budget t b = with_mu t (fun () -> Chunk_store.set_cache_budget t.cs b)
+
 (** Committed value of a named root. *)
 let get_root t (name : string) : oid option = with_mu t (fun () -> List.assoc_opt name t.roots)
 

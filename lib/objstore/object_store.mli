@@ -41,7 +41,15 @@ val close : t -> unit
 val checkpoint : t -> unit
 
 val cache_stats : t -> int * int * int
-(** (hits, misses, evictions). *)
+(** Object-cache (hits, misses, evictions). *)
+
+val chunk_cache_stats : t -> int * int * int
+(** Same counters for the verified-chunk cache one level down — the
+    second tier of the two-level cache (see DESIGN.md, "Caching"). *)
+
+val set_chunk_cache_budget : t -> int -> unit
+(** Resize the underlying chunk store's verified-chunk cache at runtime
+    (0 disables it); evicts immediately if over the new budget. *)
 
 val held_count : t -> int
 (** Objects currently holding at least one transactional lock — 0 when no

@@ -17,7 +17,7 @@ exception Proto_error of string
 (** Malformed frame, unknown opcode, version mismatch, or oversized
     payload. *)
 
-let version = 1
+let version = 2
 let magic = "TDB\001"
 
 let default_max_frame = 4 * 1024 * 1024
@@ -59,6 +59,9 @@ type stats = {
   s_counter : int64;  (** one-way counter value *)
   s_gc_batches : int;  (** group-commit barriers run *)
   s_gc_coalesced : int;  (** durable commits absorbed into those barriers *)
+  s_cache_hits : int;  (** verified-chunk cache hits (reads served decrypted) *)
+  s_cache_misses : int;  (** cache misses (full fetch + decrypt + verify) *)
+  s_cache_evictions : int;  (** entries evicted under budget pressure *)
 }
 
 type response =
@@ -232,7 +235,10 @@ let encode_response (resp : response) : string =
       P.uint w s.s_durable_commits;
       P.int64 w s.s_counter;
       P.uint w s.s_gc_batches;
-      P.uint w s.s_gc_coalesced
+      P.uint w s.s_gc_coalesced;
+      P.uint w s.s_cache_hits;
+      P.uint w s.s_cache_misses;
+      P.uint w s.s_cache_evictions
   | Error_ { tag; msg } ->
       P.byte w 9;
       P.string w tag;
@@ -261,6 +267,9 @@ let decode_response (payload : string) : response =
         let s_counter = P.read_int64 r in
         let s_gc_batches = P.read_uint r in
         let s_gc_coalesced = P.read_uint r in
+        let s_cache_hits = P.read_uint r in
+        let s_cache_misses = P.read_uint r in
+        let s_cache_evictions = P.read_uint r in
         Ok_stats
           {
             s_sessions;
@@ -272,6 +281,9 @@ let decode_response (payload : string) : response =
             s_counter;
             s_gc_batches;
             s_gc_coalesced;
+            s_cache_hits;
+            s_cache_misses;
+            s_cache_evictions;
           }
     | 9 ->
         let tag = P.read_string r in

@@ -49,6 +49,9 @@ type stats = {
   s_counter : int64;  (** one-way counter value *)
   s_gc_batches : int;  (** group-commit barriers run *)
   s_gc_coalesced : int;  (** durable commits absorbed into those barriers *)
+  s_cache_hits : int;  (** verified-chunk cache hits (reads served decrypted) *)
+  s_cache_misses : int;  (** cache misses (full fetch + decrypt + verify) *)
+  s_cache_evictions : int;  (** entries evicted under budget pressure *)
 }
 
 type response =

@@ -394,6 +394,9 @@ let handle_request (t : t) (s : session) (req : Proto.request) : Proto.response 
           s_counter = Tdb_chunk.Chunk_store.counter_value cs;
           s_gc_batches = gb;
           s_gc_coalesced = gco;
+          s_cache_hits = st.Tdb_chunk.Chunk_store.cache_hits;
+          s_cache_misses = st.Tdb_chunk.Chunk_store.cache_misses;
+          s_cache_evictions = st.Tdb_chunk.Chunk_store.cache_evictions;
         }
   | Proto.Bye -> Proto.Ok_unit
 

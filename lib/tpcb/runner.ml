@@ -13,7 +13,14 @@ type result = {
   bytes_per_txn : float; (* steady-state *)
   db_size : int; (* final on-disk footprint, bytes *)
   live_bytes : int; (* TDB only: live data *)
+  alloc_words_per_txn : float; (* GC words allocated per measured txn *)
+  cache_hits : int; (* TDB only: verified-chunk cache *)
+  cache_misses : int;
 }
+
+let hit_rate (r : result) : float =
+  let n = r.cache_hits + r.cache_misses in
+  if n = 0 then 0.0 else float_of_int r.cache_hits /. float_of_int n
 
 let percentile (samples : float array) (p : float) : float =
   if Array.length samples = 0 then 0.0
@@ -32,7 +39,7 @@ let mean (samples : float array) : float =
     reads cumulative bytes written. *)
 let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~(seed : string)
     ~(txn : Workload.txn_input -> unit) ~(sim_time : unit -> float) ~(bytes : unit -> int) :
-    float array * float array * float array * float =
+    float array * float array * float array * float * float =
   let rng = Tdb_crypto.Drbg.create ~seed in
   let n = scale.Workload.transactions in
   let measured = min n scale.Workload.measured in
@@ -41,6 +48,7 @@ let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~
   let cpu = Array.make measured 0.0 in
   let io = Array.make measured 0.0 in
   let fg_bytes = ref 0 in
+  let alloc = ref 0.0 in
   for i = 0 to n - 1 do
     (* DRM workloads are "short sequences of transactions separated by long
        idle periods" (paper Section 1); with [idle_every], maintenance runs
@@ -51,28 +59,33 @@ let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~
     | _ -> ());
     let input = Workload.gen_txn rng scale in
     let t0 = Unix.gettimeofday () and s0 = sim_time () and b0 = bytes () in
+    let a0 = Gc.allocated_bytes () in
     txn input;
     let t1 = Unix.gettimeofday () and s1 = sim_time () in
+    let a1 = Gc.allocated_bytes () in
     if i >= warmup then begin
       let j = i - warmup in
       cpu.(j) <- t1 -. t0;
       io.(j) <- s1 -. s0;
       total.(j) <- (t1 -. t0) +. (s1 -. s0);
-      fg_bytes := !fg_bytes + (bytes () - b0)
+      fg_bytes := !fg_bytes + (bytes () - b0);
+      alloc := !alloc +. (a1 -. a0)
     end
   done;
   let bytes_per_txn = float_of_int !fg_bytes /. float_of_int measured in
-  (total, cpu, io, bytes_per_txn)
+  let alloc_per_txn = !alloc /. float_of_int (Sys.word_size / 8) /. float_of_int measured in
+  (total, cpu, io, bytes_per_txn, alloc_per_txn)
 
 let run_tdb ?(security = true) ?(max_utilization = 0.6) ?model ?idle_every (scale : Workload.scale) :
     result =
   let t = Tdb_driver.setup ~security ~max_utilization ?model scale in
-  let total, cpu, io, bytes_per_txn =
+  let total, cpu, io, bytes_per_txn, alloc_words_per_txn =
     drive ?idle_every ~idle:(fun () -> Tdb_driver.idle_clean t) scale ~seed:"tpcb-run"
       ~txn:(fun input -> ignore (Tdb_driver.txn t input))
       ~sim_time:(fun () -> Tdb_driver.sim_time t)
       ~bytes:(fun () -> Tdb_driver.bytes_written t)
   in
+  let st = Tdb_driver.stats t in
   {
     label = (if security then "TDB-S" else "TDB");
     txns = Array.length total;
@@ -83,11 +96,14 @@ let run_tdb ?(security = true) ?(max_utilization = 0.6) ?model ?idle_every (scal
     bytes_per_txn;
     db_size = Tdb_driver.db_size t;
     live_bytes = Tdb_driver.live_bytes t;
+    alloc_words_per_txn;
+    cache_hits = st.Tdb_chunk.Chunk_store.cache_hits;
+    cache_misses = st.Tdb_chunk.Chunk_store.cache_misses;
   }
 
 let run_bdb ?model (scale : Workload.scale) : result =
   let t = Bdb_driver.setup ?model scale in
-  let total, cpu, io, bytes_per_txn =
+  let total, cpu, io, bytes_per_txn, alloc_words_per_txn =
     drive scale ~seed:"tpcb-run"
       ~txn:(fun input -> ignore (Bdb_driver.txn t input))
       ~sim_time:(fun () -> Bdb_driver.sim_time t)
@@ -103,9 +119,14 @@ let run_bdb ?model (scale : Workload.scale) : result =
     bytes_per_txn;
     db_size = Bdb_driver.db_size t;
     live_bytes = 0;
+    alloc_words_per_txn;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let pp_result ppf (r : result) =
   Format.fprintf ppf "%-12s avg %6.2f ms  (cpu %5.2f + io %5.2f)  p95 %6.2f ms  %7.0f B/txn  db %6.2f MB"
     r.label r.avg_ms r.cpu_avg_ms r.io_avg_ms r.p95_ms r.bytes_per_txn
-    (float_of_int r.db_size /. 1048576.)
+    (float_of_int r.db_size /. 1048576.);
+  if r.cache_hits + r.cache_misses > 0 then
+    Format.fprintf ppf "  cache %.0f%%" (100. *. hit_rate r)

@@ -12,7 +12,13 @@ type result = {
   bytes_per_txn : float;  (** foreground (transaction-path) writes only *)
   db_size : int;
   live_bytes : int;  (** TDB only *)
+  alloc_words_per_txn : float;  (** GC words allocated per measured txn *)
+  cache_hits : int;  (** TDB only: verified-chunk cache *)
+  cache_misses : int;
 }
+
+val hit_rate : result -> float
+(** Verified-chunk cache hit rate in [0,1] (0 when the cache saw no traffic). *)
 
 val percentile : float array -> float -> float
 val mean : float array -> float

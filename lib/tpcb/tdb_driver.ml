@@ -56,12 +56,19 @@ let setup ?(security = true) ?(max_utilization = 0.6) ?(model = Sim_disk.paper_p
          checkpoints + cleans); the residual trigger is a backstop scaled
          with the configuration so it does not fire between idle windows *)
       checkpoint_residual_bytes = max (384 * 1024) scale.Workload.cache_bytes;
+      (* two-level cache, one budget: the workload's cache allowance is
+         split so the chunk store's verified-chunk cache (the paper's
+         cleartext-chunk cache) holds the bulk of it, with a small object
+         cache above for the pinned/unpickled working set. An equal-size
+         second level under LRU inclusion would duplicate the first and
+         capture nothing; total memory stays at BDB parity. *)
+      chunk_cache_bytes = scale.Workload.cache_bytes * 3 / 4;
       cipher = Config.Triple_xtea; hash = Config.Sha1 }
   in
   let cs = Chunk_store.create ~config ~secret ~counter store in
   let os =
     Object_store.of_chunk_store
-      ~config:{ Object_store.default_config with Object_store.cache_budget = scale.Workload.cache_bytes; locking = false }
+      ~config:{ Object_store.default_config with Object_store.cache_budget = scale.Workload.cache_bytes / 4; locking = false }
       cs
   in
   (* create collections *)

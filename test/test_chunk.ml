@@ -609,6 +609,165 @@ let test_periodic_checkpoint () =
   done;
   Alcotest.(check bool) "checkpoints happened" true ((Chunk_store.stats cs).Chunk_store.checkpoints >= 2)
 
+(* --- verified-chunk read cache --- *)
+
+let cache_counters cs =
+  let st = Chunk_store.stats cs in
+  (st.Chunk_store.cache_hits, st.Chunk_store.cache_misses, st.Chunk_store.cache_evictions)
+
+let test_cache_hits_after_commit () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "payload";
+  Chunk_store.commit cs;
+  (* commit write-through seeds the cache: both reads hit *)
+  Alcotest.(check string) "read 1" "payload" (Chunk_store.read cs a);
+  Alcotest.(check string) "read 2" "payload" (Chunk_store.read cs a);
+  let hits, misses, _ = cache_counters cs in
+  Alcotest.(check int) "hits" 2 hits;
+  Alcotest.(check int) "misses" 0 misses;
+  Alcotest.(check int) "resident" 1 (Chunk_store.cache_resident cs)
+
+let test_cache_read_after_write_coherence () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "v1";
+  Chunk_store.commit cs;
+  Alcotest.(check string) "v1" "v1" (Chunk_store.read cs a);
+  (* pending overwrite is visible before commit (bypasses the cache) *)
+  Chunk_store.write cs a "v2";
+  Alcotest.(check string) "pending v2" "v2" (Chunk_store.read cs a);
+  Chunk_store.commit cs;
+  Alcotest.(check string) "committed v2" "v2" (Chunk_store.read cs a);
+  (* an aborted batch must not poison the cache *)
+  Chunk_store.write cs a "v3";
+  Chunk_store.abort_batch cs;
+  Alcotest.(check string) "abort keeps v2" "v2" (Chunk_store.read cs a)
+
+let test_cache_dealloc_coherence () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "doomed";
+  Chunk_store.commit cs;
+  Alcotest.(check string) "cached" "doomed" (Chunk_store.read cs a);
+  Chunk_store.deallocate cs a;
+  Chunk_store.commit cs;
+  Alcotest.(check bool) "read after dealloc fails" true
+    (match Chunk_store.read cs a with exception Types.Not_written _ -> true | _ -> false)
+
+let test_cache_eviction_under_budget () =
+  let env = fresh_env () in
+  (* room for ~2 entries of 100 bytes (+64 overhead each) *)
+  let config = { (cfg ()) with Config.chunk_cache_bytes = 400 } in
+  let cs = create ~config env in
+  let cids = List.init 6 (fun _ -> Chunk_store.allocate cs) in
+  List.iteri (fun i cid -> Chunk_store.write cs cid (String.make 100 (Char.chr (Char.code 'a' + i)))) cids;
+  Chunk_store.commit cs;
+  List.iteri
+    (fun i cid ->
+      Alcotest.(check string) "intact" (String.make 100 (Char.chr (Char.code 'a' + i))) (Chunk_store.read cs cid))
+    cids;
+  let _, _, evictions = cache_counters cs in
+  Alcotest.(check bool) "evictions happened" true (evictions > 0);
+  Alcotest.(check bool) "within budget" true (Chunk_store.cache_bytes cs <= Chunk_store.cache_budget cs)
+
+let test_cache_zero_budget_disables () =
+  let env = fresh_env () in
+  let config = { (cfg ()) with Config.chunk_cache_bytes = 0 } in
+  let cs = create ~config env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "plain path";
+  Chunk_store.commit cs;
+  Alcotest.(check string) "read 1" "plain path" (Chunk_store.read cs a);
+  Alcotest.(check string) "read 2" "plain path" (Chunk_store.read cs a);
+  let hits, misses, _ = cache_counters cs in
+  Alcotest.(check int) "no hits" 0 hits;
+  Alcotest.(check int) "all misses" 2 misses;
+  Alcotest.(check int) "nothing resident" 0 (Chunk_store.cache_resident cs)
+
+let test_cache_survives_cleaning () =
+  let env = fresh_env () in
+  let cs = create env in
+  let cids = List.init 8 (fun _ -> Chunk_store.allocate cs) in
+  List.iteri (fun i cid -> Chunk_store.write cs cid (Printf.sprintf "record-%03d" i)) cids;
+  Chunk_store.commit cs;
+  (* churn to give the cleaner something to relocate *)
+  for round = 1 to 12 do
+    List.iteri
+      (fun i cid -> if i mod 2 = 0 then Chunk_store.write cs cid (Printf.sprintf "record-%03d-r%d" i round))
+      cids;
+    Chunk_store.commit cs
+  done;
+  List.iter (fun cid -> ignore (Chunk_store.read cs cid)) cids;
+  let _, misses_before, _ = cache_counters cs in
+  Chunk_store.clean cs;
+  Alcotest.(check bool) "cleaner ran" true ((Chunk_store.stats cs).Chunk_store.clean_passes > 0);
+  (* relocation preserves versions, so cached entries stay valid: re-reading
+     everything adds no misses *)
+  List.iteri
+    (fun i cid ->
+      let expect = if i mod 2 = 0 then Printf.sprintf "record-%03d-r12" i else Printf.sprintf "record-%03d" i in
+      Alcotest.(check string) "post-clean read" expect (Chunk_store.read cs cid))
+    cids;
+  let _, misses_after, _ = cache_counters cs in
+  Alcotest.(check int) "no new misses across clean" misses_before misses_after
+
+let test_cache_cold_after_reopen () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "durable data";
+  Chunk_store.commit ~durable:true cs;
+  ignore (Chunk_store.read cs a);
+  Alcotest.(check bool) "warm before crash" true (Chunk_store.cache_resident cs > 0);
+  (* recovery builds a fresh store: nothing cached until re-read *)
+  let cs2 = reopen env in
+  Alcotest.(check int) "cold after recovery" 0 (Chunk_store.cache_resident cs2);
+  let hits0, misses0, _ = cache_counters cs2 in
+  Alcotest.(check string) "first read refetches" "durable data" (Chunk_store.read cs2 a);
+  Alcotest.(check string) "second read hits" "durable data" (Chunk_store.read cs2 a);
+  let hits, misses, _ = cache_counters cs2 in
+  Alcotest.(check int) "one miss" (misses0 + 1) misses;
+  Alcotest.(check int) "one hit" (hits0 + 1) hits
+
+let test_cache_set_budget_runtime () =
+  let env = fresh_env () in
+  let cs = create env in
+  let cids = List.init 4 (fun _ -> Chunk_store.allocate cs) in
+  List.iter (fun cid -> Chunk_store.write cs cid (String.make 200 'z')) cids;
+  Chunk_store.commit cs;
+  Alcotest.(check bool) "warm" true (Chunk_store.cache_resident cs >= 4);
+  Chunk_store.set_cache_budget cs 300;
+  Alcotest.(check bool) "shrunk immediately" true (Chunk_store.cache_bytes cs <= 300);
+  Alcotest.(check bool) "entries evicted" true (Chunk_store.cache_resident cs <= 1)
+
+(* A checkpoint that promotes nondurable commits to durable is itself a
+   durability event: it must bump the one-way counter, or flipping the
+   fresh anchor slot would silently roll the promotion back (the crashfuzz
+   `silent=17` bug). *)
+let test_checkpoint_promotion_bumps_counter () =
+  let env = fresh_env () in
+  let cs = create env in
+  let a = Chunk_store.allocate cs in
+  Chunk_store.write cs a "durable base";
+  Chunk_store.commit ~durable:true cs;
+  let c0 = One_way_counter.read env.ctr in
+  Chunk_store.write cs a "promoted by checkpoint";
+  Chunk_store.commit ~durable:false cs;
+  Alcotest.(check bool) "no bump on nondurable commit" true (Int64.equal (One_way_counter.read env.ctr) c0);
+  Chunk_store.checkpoint cs;
+  Alcotest.(check bool) "promotion bumps counter" true
+    (Int64.equal (One_way_counter.read env.ctr) (Int64.add c0 1L));
+  (* a second checkpoint has nothing to promote: no further bump *)
+  Chunk_store.checkpoint cs;
+  Alcotest.(check bool) "idempotent" true (Int64.equal (One_way_counter.read env.ctr) (Int64.add c0 1L));
+  (* and the promoted state is durable: recovery keeps it *)
+  let cs2 = reopen env in
+  Alcotest.(check string) "promoted state survives" "promoted by checkpoint" (Chunk_store.read cs2 a)
+
 let qcheck_commit_batches =
   (* arbitrary batches of writes applied atomically match a model *)
   QCheck.Test.make ~name:"random batched workload matches model" ~count:15
@@ -689,6 +848,18 @@ let () =
           Alcotest.test_case "survives reopen" `Quick test_snapshot_survives_reopen;
           Alcotest.test_case "protected from cleaner" `Quick test_snapshot_protects_from_cleaner;
         ] );
-      ("checkpoint", [ Alcotest.test_case "periodic" `Quick test_periodic_checkpoint ]);
+      ("checkpoint", [ Alcotest.test_case "periodic" `Quick test_periodic_checkpoint;
+                       Alcotest.test_case "promotion bumps counter" `Quick test_checkpoint_promotion_bumps_counter ]);
+      ( "cache",
+        [
+          Alcotest.test_case "hits after commit" `Quick test_cache_hits_after_commit;
+          Alcotest.test_case "read-after-write coherence" `Quick test_cache_read_after_write_coherence;
+          Alcotest.test_case "dealloc coherence" `Quick test_cache_dealloc_coherence;
+          Alcotest.test_case "eviction under budget" `Quick test_cache_eviction_under_budget;
+          Alcotest.test_case "zero budget disables" `Quick test_cache_zero_budget_disables;
+          Alcotest.test_case "survives cleaning" `Quick test_cache_survives_cleaning;
+          Alcotest.test_case "cold after reopen" `Quick test_cache_cold_after_reopen;
+          Alcotest.test_case "runtime budget shrink" `Quick test_cache_set_budget_runtime;
+        ] );
       ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_commit_batches ]);
     ]

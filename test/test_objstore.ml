@@ -453,6 +453,41 @@ let test_cache_hit_no_io () =
   let reads_after = (Untrusted_store.stats env.store).Untrusted_store.reads in
   Alcotest.(check int) "cached read does no store I/O" reads_before reads_after
 
+(* Two-level cache: when the object cache is too small to hold the working
+   set, re-reads fall through to the chunk store — and hit its
+   verified-chunk cache instead of paying fetch + decrypt + verify. *)
+let test_two_level_cache () =
+  let config = { Object_store.default_config with Object_store.cache_budget = 500 } in
+  let env = fresh_env () in
+  let os = fresh ~config env in
+  let x = Object_store.begin_ os in
+  let oids =
+    List.init 50 (fun i -> Object_store.insert x meter_cls { view_count = i; print_count = 0; good = String.make 40 'g' })
+  in
+  Object_store.commit x;
+  let read_all () =
+    let t = Object_store.begin_ os in
+    List.iteri
+      (fun i oid ->
+        let m = Object_store.deref (Object_store.open_readonly t meter_cls oid) in
+        Alcotest.(check int) "value" i m.view_count)
+      oids;
+    Object_store.abort t
+  in
+  read_all ();
+  read_all ();
+  let _, obj_misses, _ = Object_store.cache_stats os in
+  let chunk_hits, _, _ = Object_store.chunk_cache_stats os in
+  Alcotest.(check bool) "object cache thrashes" true (obj_misses > 0);
+  Alcotest.(check bool) "chunk cache absorbs the fall-through" true (chunk_hits > 0);
+  (* disabling the lower tier turns the same traffic into pure misses *)
+  Object_store.set_chunk_cache_budget os 0;
+  let hits0, _, _ = Object_store.chunk_cache_stats os in
+  read_all ();
+  let hits1, misses1, _ = Object_store.chunk_cache_stats os in
+  Alcotest.(check int) "no hits with cache off" hits0 hits1;
+  Alcotest.(check bool) "misses counted" true (misses1 > 0)
+
 (* --- persistence of many objects + crash --- *)
 
 let test_crash_recovery_objects () =
@@ -594,6 +629,7 @@ let () =
         [
           Alcotest.test_case "eviction + reload" `Quick test_cache_eviction_and_reload;
           Alcotest.test_case "hits avoid I/O" `Quick test_cache_hit_no_io;
+          Alcotest.test_case "two-level fall-through" `Quick test_two_level_cache;
         ] );
       ("qcheck", [ QCheck_alcotest.to_alcotest qcheck_random_objects ]);
     ]
