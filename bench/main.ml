@@ -34,12 +34,14 @@ let json_of_result (r : Runner.result) : string =
   Printf.sprintf
     "    { \"label\": %S, \"txns\": %d, \"avg_ms\": %.4f, \"p95_ms\": %.4f,\n\
     \      \"cpu_avg_ms\": %.4f, \"io_avg_ms\": %.4f, \"ops_per_s\": %.1f,\n\
-    \      \"bytes_per_txn\": %.1f, \"db_size\": %d, \"live_bytes\": %d,\n\
+    \      \"bytes_per_txn\": %.1f, \"store_writes_per_txn\": %.2f, \"store_bytes_per_txn\": %.1f,\n\
+    \      \"db_size\": %d, \"live_bytes\": %d,\n\
     \      \"alloc_words_per_txn\": %.0f,\n\
     \      \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f }"
     r.Runner.label r.Runner.txns r.Runner.avg_ms r.Runner.p95_ms r.Runner.cpu_avg_ms r.Runner.io_avg_ms
     (if r.Runner.avg_ms > 0. then 1000. /. r.Runner.avg_ms else 0.)
-    r.Runner.bytes_per_txn r.Runner.db_size r.Runner.live_bytes r.Runner.alloc_words_per_txn
+    r.Runner.bytes_per_txn r.Runner.store_writes_per_txn r.Runner.store_bytes_per_txn
+    r.Runner.db_size r.Runner.live_bytes r.Runner.alloc_words_per_txn
     r.Runner.cache_hits r.Runner.cache_misses (Runner.hit_rate r)
 
 let write_tpcb_json ~(scale_name : string) ~(idle : bool) (scale : Workload.scale)

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Perf-regression guard over the TPC-B bench JSON artifacts.
+#
+#   bench/perf_guard.sh BASELINE.json FRESH.json [TOLERANCE]
+#
+# For every system label present in both files, fail (exit 1) if the
+# fresh run's ops_per_s drops more than TOLERANCE (default 0.15) below
+# the baseline, or its store_writes_per_txn rises more than TOLERANCE
+# above it. The baseline is typically the committed BENCH_TPCB.json
+# (default scale); the fresh run may be quick scale — ops_per_s is
+# dominated by the simulated disk model, so the two scales agree to
+# within a few percent, well inside the tolerance. A baseline that
+# predates the store_writes_per_txn field skips that check.
+set -eu
+
+baseline=${1:?usage: perf_guard.sh BASELINE.json FRESH.json [TOLERANCE]}
+fresh=${2:?usage: perf_guard.sh BASELINE.json FRESH.json [TOLERANCE]}
+tol=${3:-0.15}
+
+# Flatten a bench JSON so each system object is one line, then print the
+# line for the given label.
+sys_line() {
+    tr '\n' ' ' < "$1" | sed 's/{ *"label"/\
+{ "label"/g' | grep -F "\"label\": \"$2\"" | head -n 1
+}
+
+# Extract a numeric field from a flattened system line (empty if absent).
+field() {
+    printf '%s\n' "$1" | sed -n "s/.*\"$2\": \([0-9][0-9.eE+-]*\).*/\1/p"
+}
+
+labels=$(tr '\n' ' ' < "$fresh" | sed 's/{ *"label"/\
+{ "label"/g' | sed -n 's/.*"label": "\([^"]*\)".*/\1/p')
+
+status=0
+for label in $labels; do
+    base_line=$(sys_line "$baseline" "$label") || true
+    if [ -z "$base_line" ]; then
+        echo "perf_guard: $label: not in baseline, skipping"
+        continue
+    fi
+    fresh_line=$(sys_line "$fresh" "$label")
+
+    b_ops=$(field "$base_line" ops_per_s)
+    f_ops=$(field "$fresh_line" ops_per_s)
+    if [ -n "$b_ops" ] && [ -n "$f_ops" ]; then
+        if awk -v f="$f_ops" -v b="$b_ops" -v t="$tol" \
+               'BEGIN { exit !(f < (1 - t) * b) }'; then
+            echo "perf_guard: FAIL $label: ops_per_s $f_ops < $(awk -v b="$b_ops" -v t="$tol" 'BEGIN { printf "%.1f", (1-t)*b }') (baseline $b_ops, tolerance $tol)"
+            status=1
+        else
+            echo "perf_guard: ok   $label: ops_per_s $f_ops (baseline $b_ops)"
+        fi
+    fi
+
+    b_w=$(field "$base_line" store_writes_per_txn)
+    f_w=$(field "$fresh_line" store_writes_per_txn)
+    if [ -z "$b_w" ]; then
+        echo "perf_guard: $label: baseline has no store_writes_per_txn, skipping write check"
+        continue
+    fi
+    if [ -n "$f_w" ]; then
+        if awk -v f="$f_w" -v b="$b_w" -v t="$tol" \
+               'BEGIN { exit !(f > (1 + t) * b) }'; then
+            echo "perf_guard: FAIL $label: store_writes_per_txn $f_w > $(awk -v b="$b_w" -v t="$tol" 'BEGIN { printf "%.2f", (1+t)*b }') (baseline $b_w, tolerance $tol)"
+            status=1
+        else
+            echo "perf_guard: ok   $label: store_writes_per_txn $f_w (baseline $b_w)"
+        fi
+    fi
+done
+
+exit $status

@@ -15,6 +15,7 @@ let () =
   let json = ref false in
   let quiet = ref false in
   let no_gc = ref false in
+  let no_flush = ref false in
   let seed = ref Tdb_faultsim.Crashfuzz.default_trace.Tdb_faultsim.Crashfuzz.seed in
   let spec =
     [
@@ -25,6 +26,7 @@ let () =
       ("--mask", Arg.Set_int mask, "M  XOR mask for the tamper sweep (default 0x10)");
       ("--seed", Arg.Set_string seed, "S  trace seed (default tdb-crashfuzz)");
       ("--no-group-commit", Arg.Set no_gc, "  skip the group-commit (staged barrier) sweep");
+      ("--no-commit-flush", Arg.Set no_flush, "  skip the coalesced commit-flush (fragment boundary) sweep");
       ("--json", Arg.Set json, "  emit the JSON summary on stdout");
       ("--quiet", Arg.Set quiet, "  no progress output");
     ]
@@ -45,12 +47,24 @@ let () =
       Some r
     end
   in
+  let flush =
+    if !no_flush then None
+    else begin
+      let r = Tdb_faultsim.Crashfuzz.sweep_commit_flush ~progress ~trace ~seeds:!seeds ~stride:!stride () in
+      if not !quiet then
+        Printf.eprintf "\rcommit-flush sweep done: %d runs over %d boundaries\n%!" r.runs r.boundaries;
+      Some r
+    end
+  in
   let tamper = Tdb_faultsim.Crashfuzz.sweep_tamper ~stride:!tamper_stride ~mask:!mask ~trace () in
   if not !quiet then
     Printf.eprintf "tamper sweep done: %d flips (%d detected, %d harmless)\n%!" tamper.flips tamper.detected
       tamper.harmless;
   let gc_violations = match gc with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
-  if !json then print_endline (Tdb_faultsim.Crashfuzz.json_summary ?group_commit:gc ~trace ~crash ~tamper ())
+  let flush_violations = match flush with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
+  if !json then
+    print_endline
+      (Tdb_faultsim.Crashfuzz.json_summary ?group_commit:gc ?commit_flush:flush ~trace ~crash ~tamper ())
   else begin
     Printf.printf "boundaries=%d crashpoints=%d seeds=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
       crash.boundaries crash.crashpoints crash.seeds crash.runs crash.crashes crash.recoveries
@@ -63,15 +77,24 @@ let () =
           r.Tdb_faultsim.Crashfuzz.boundaries r.Tdb_faultsim.Crashfuzz.crashpoints
           r.Tdb_faultsim.Crashfuzz.runs r.Tdb_faultsim.Crashfuzz.crashes r.Tdb_faultsim.Crashfuzz.recoveries
           (List.length r.Tdb_faultsim.Crashfuzz.violations));
+    (match flush with
+    | None -> ()
+    | Some r ->
+        Printf.printf
+          "commit-flush: boundaries=%d crashpoints=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
+          r.Tdb_faultsim.Crashfuzz.boundaries r.Tdb_faultsim.Crashfuzz.crashpoints
+          r.Tdb_faultsim.Crashfuzz.runs r.Tdb_faultsim.Crashfuzz.crashes r.Tdb_faultsim.Crashfuzz.recoveries
+          (List.length r.Tdb_faultsim.Crashfuzz.violations));
     Printf.printf "tamper: flips=%d detected=%d harmless=%d silent=%d\n" tamper.flips tamper.detected
       tamper.harmless tamper.silent;
     List.iter
       (fun v ->
         Printf.printf "VIOLATION %s %s: %s\n" v.Tdb_faultsim.Crashfuzz.v_run v.Tdb_faultsim.Crashfuzz.v_kind
           v.Tdb_faultsim.Crashfuzz.v_detail)
-      (crash.violations @ gc_violations)
+      (crash.violations @ gc_violations @ flush_violations)
   end;
   let bad =
-    (match crash.violations @ gc_violations with [] -> false | _ :: _ -> true) || tamper.silent > 0
+    (match crash.violations @ gc_violations @ flush_violations with [] -> false | _ :: _ -> true)
+    || tamper.silent > 0
   in
   exit (if bad then 1 else 0)

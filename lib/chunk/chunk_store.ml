@@ -245,6 +245,9 @@ let do_checkpoint t : unit =
       ~write_node:(fun payload -> append_payload t Map_node ~version:t.seq payload)
       ~obsolete:(fun e -> Log.obsolete_entry t.log e)
   in
+  (* all dirty map nodes (and any cleaner relocations that triggered this
+     checkpoint) coalesce into one vectored flush before the sync *)
+  Log.flush t.log;
   Tdb_platform.Untrusted_store.sync t.store;
   write_anchor t ~root;
   if promote then begin
@@ -546,6 +549,10 @@ let commit ?(durable = true) t : unit =
       t.pending;
     Hashtbl.reset t.pending;
     flush_group ~last:true;
+    (* One store write pass per commit: everything the batch appended —
+       chunk records, sub-commit chain, the final commit record — lands as
+       a single vectored flush, before the durability point below. *)
+    Log.flush t.log;
     (* a durable commit covers every nondurable one before it; a
        nondurable commit leaves state the next checkpoint would promote *)
     t.promotable <- not durable;
@@ -585,6 +592,7 @@ let commit ?(durable = true) t : unit =
 type barrier_token = {
   bt_counter : int64;  (** counter value the barrier's commit record claims *)
   bt_eligible : (int, unit) Hashtbl.t;  (** segments reclaimable once the barrier is durable *)
+  bt_flush : Log.flush_token;  (** the barrier record's buffered bytes, written during the sync stage *)
 }
 
 (** First stage: append the empty durable commit record and pre-advance
@@ -607,7 +615,14 @@ let barrier_begin t : barrier_token =
   t.promotable <- false;
   t.barrier_inflight <- true;
   t.stats.commits <- t.stats.commits + 1;
-  { bt_counter = t.last_counter; bt_eligible = Log.zero_usage_segments t.log }
+  (* Detach the barrier record's buffered bytes: the store I/O moves to the
+     sync stage, outside the state lock. Window commits flush their own
+     appends (at disjoint, later offsets) under the lock. *)
+  {
+    bt_counter = t.last_counter;
+    bt_eligible = Log.zero_usage_segments t.log;
+    bt_flush = Log.flush_prepare t.log;
+  }
 
 (** Second stage: the physical wait — force the store and bump the
     hardware counter. Safe to run {e without} the state lock provided no
@@ -616,6 +631,7 @@ let barrier_begin t : barrier_token =
     concurrently, and the records they add land after the barrier record,
     so durability of the prefix is unaffected. *)
 let barrier_sync t (tok : barrier_token) : unit =
+  Log.flush_write t.log tok.bt_flush;
   Tdb_platform.Untrusted_store.sync t.store;
   if t.sec.Security.enabled then begin
     let hw = Tdb_platform.One_way_counter.increment t.counter in

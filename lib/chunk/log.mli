@@ -18,6 +18,13 @@ val header_size : int
 val magic_byte : char
 val marker_size : int
 
+type run = {
+  run_off : int;
+  mutable run_frags : string list;  (** reversed: newest fragment first *)
+  mutable run_len : int;
+}
+(** A contiguous buffered byte range at the tail, not yet on the store. *)
+
 type t = {
   store : Tdb_platform.Untrusted_store.t;
   cfg : Config.t;
@@ -25,11 +32,13 @@ type t = {
   mutable nsegments : int;
   usage : (int, int) Hashtbl.t;
   mutable free : int list;
+  mutable nfree : int;  (** [List.length free], maintained *)
   pinned : (int, int) Hashtbl.t;
   residual : (int, unit) Hashtbl.t;
   mutable residual_bytes : int;
   mutable tail_seg : int;
   mutable tail_off : int;
+  mutable tail_buf : run list;  (** buffered appends, newest run first *)
   mutable grown : int;
 }
 
@@ -82,9 +91,33 @@ val is_pinned : t -> int -> bool
 exception Need_segment
 
 val append : ?live:bool -> t -> record_kind -> string -> int * int
-(** Append at the tail; returns the payload position. [live] records are
-    charged to segment usage; transient (commit) records are not.
+(** Append at the tail; returns the payload position. The record is only
+    {e buffered} (header, payload and chain markers accumulate in the tail
+    buffer) and reaches the store at the next {!flush} as one vectored
+    write per contiguous run. [live] records are charged to segment usage;
+    transient (commit) records are not.
     @raise Need_segment when the free list is empty (caller grows). *)
+
+type flush_token
+(** Detached pending tail ranges (see {!flush_prepare}). *)
+
+val flush : t -> unit
+(** Write all buffered appends to the store, one {!Tdb_platform.Untrusted_store.writev}
+    per contiguous run. Callers must flush before any durability point
+    ([sync]); {!barrier} and the record-read paths flush on their own as a
+    backstop. *)
+
+val flush_prepare : t -> flush_token
+(** Detach the buffered tail into a token, leaving the buffer empty. The
+    token only references [t.store] — {!flush_write} on it is safe outside
+    the lock protecting [t]'s mutable state, which is how the staged
+    group-commit barrier moves commit I/O out of the store mutex. Records
+    held by a detached token are unreadable until {!flush_write}; the only
+    records a staged barrier detaches are its own commit record and chain
+    markers, which nothing reads back before recovery. *)
+
+val flush_write : t -> flush_token -> unit
+(** Write a detached token's runs to the store. *)
 
 val read_payload : t -> entry -> string
 val parse_record : t -> seg:int -> off:int -> (record_kind * int * string) option

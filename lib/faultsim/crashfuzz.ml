@@ -299,6 +299,54 @@ let run_phase_gc ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
     cp_seen := (Chunk_store.stats cs).Chunk_store.checkpoints
   done
 
+(* Commit-flush phase A: every commit is a *large* durable commit — a
+   batch of chunk writes that the log's tail buffer coalesces into a
+   single vectored flush of many fragments (record headers, sealed
+   payloads, Next_segment markers). [Fault_plan.instrument] decomposes
+   each vectored write back into per-fragment crash boundaries, so with
+   stride 1 this sweep crashes at every fragment boundary of a coalesced
+   commit flush: between a record's header and its payload, between
+   adjacent records, and at the chain markers of a flush that spills
+   across segments. Recovery must treat any fragment-suffix loss as an
+   ordinary torn tail. *)
+let run_phase_flush ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
+  let n_base = trace.accounts + trace.tellers + trace.branches in
+  let base = Array.init n_base (fun _ -> Chunk_store.allocate cs) in
+  Array.iteri
+    (fun i cid ->
+      let data = pad (Printf.sprintf "base:%03d:init:%d" i (Drbg.int rng 1_000_000)) in
+      Chunk_store.write cs cid data;
+      shadow_write sh cid data)
+    base;
+  commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor;
+  let fresh = Queue.create () in
+  for i = 1 to trace.txns do
+    (* rewrite several base chunks: many records in one commit flush *)
+    for j = 1 to 3 + Drbg.int rng 3 do
+      let cid = base.(Drbg.int rng n_base) in
+      check_read cs sh cid;
+      let data = pad (Printf.sprintf "flu:%03d:txn:%04d:%d:%d" cid i j (Drbg.int rng 10_000)) in
+      Chunk_store.write cs cid data;
+      shadow_write sh cid data
+    done;
+    (* allocate a few new chunks and retire old ones, so flushes also
+       carry allocation records and the cleaner keeps segments moving *)
+    for j = 1 to 2 + Drbg.int rng 2 do
+      let c = Chunk_store.allocate cs in
+      let data = pad (Printf.sprintf "flunew:%04d:%d" i j) in
+      Chunk_store.write cs c data;
+      shadow_write sh c data;
+      Queue.add c fresh
+    done;
+    while Queue.length fresh > trace.history_keep do
+      let old = Queue.pop fresh in
+      Chunk_store.deallocate cs old;
+      shadow_dealloc sh old
+    done;
+    (* all-durable: each iteration is exactly one coalesced commit flush *)
+    commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor
+  done
+
 (* Phase B: generic epilogue against whatever state recovery produced —
    rewrite existing chunks, allocate new ones, occasionally deallocate. *)
 let run_epilogue ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
@@ -571,6 +619,9 @@ let sweep_crashpoints ?progress ~trace ~seeds ~stride () =
 let sweep_group_commit ?progress ~trace ~seeds ~stride () =
   sweep ~phase_a:run_phase_gc ?progress ~trace ~seeds ~stride ()
 
+let sweep_commit_flush ?progress ~trace ~seeds ~stride () =
+  sweep ~phase_a:run_phase_flush ?progress ~trace ~seeds ~stride ()
+
 (* ------------------------------------------------------------------ *)
 (* Tamper sweep *)
 
@@ -639,7 +690,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let json_summary ?group_commit ~trace ~(crash : crash_report) ~(tamper : tamper_report) () : string =
+let json_summary ?group_commit ?commit_flush ~trace ~(crash : crash_report) ~(tamper : tamper_report) () :
+    string =
   let b = Buffer.create 1024 in
   let add_crash_report key (r : crash_report) =
     Buffer.add_string b
@@ -661,6 +713,7 @@ let json_summary ?group_commit ~trace ~(crash : crash_report) ~(tamper : tamper_
        (json_escape trace.seed) trace.txns trace.accounts trace.tellers trace.branches);
   add_crash_report "crash" crash;
   (match group_commit with None -> () | Some r -> add_crash_report "group_commit" r);
+  (match commit_flush with None -> () | Some r -> add_crash_report "commit_flush" r);
   Buffer.add_string b
     (Printf.sprintf
        "  \"tamper\": {\"image_bytes\": %d, \"flips\": %d, \"detected\": %d, \"harmless\": %d, \"silent\": %d, \"silent_offsets\": [%s]}\n"

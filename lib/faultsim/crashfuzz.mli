@@ -58,6 +58,16 @@ val sweep_group_commit :
     is crashed, including the window commits' interaction with segment
     reclamation. *)
 
+val sweep_commit_flush :
+  ?progress:(int -> int -> unit) -> trace:trace_cfg -> seeds:int -> stride:int -> unit -> crash_report
+(** Same sweep, but phase A makes every commit a large durable
+    multi-chunk commit, so each flush is one coalesced vectored write of
+    many fragments (record headers, sealed payloads, chain markers). The
+    fault plan decomposes vectored writes into per-fragment boundaries,
+    so this sweep crashes at every fragment boundary of a coalesced
+    commit flush — any fragment-suffix loss must recover as an ordinary
+    torn tail. *)
+
 val sweep_tamper : ?stride:int -> ?mask:int -> trace:trace_cfg -> unit -> tamper_report
 (** Build a committed image from the trace, then XOR [mask] into every
     [stride]-th byte (one at a time): each flip must be detected
@@ -65,6 +75,13 @@ val sweep_tamper : ?stride:int -> ?mask:int -> trace:trace_cfg -> unit -> tamper
     the original values) — never silently wrong data. *)
 
 val json_summary :
-  ?group_commit:crash_report -> trace:trace_cfg -> crash:crash_report -> tamper:tamper_report -> unit -> string
+  ?group_commit:crash_report ->
+  ?commit_flush:crash_report ->
+  trace:trace_cfg ->
+  crash:crash_report ->
+  tamper:tamper_report ->
+  unit ->
+  string
 (** Machine-readable summary for the [tdb_crashfuzz] CLI.
-    [group_commit], when present, is the {!sweep_group_commit} report. *)
+    [group_commit], when present, is the {!sweep_group_commit} report;
+    [commit_flush] the {!sweep_commit_flush} report. *)

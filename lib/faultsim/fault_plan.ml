@@ -18,7 +18,13 @@
     machine is down) until {!reset}. Combining an armed plan with
     {!Tdb_platform.Untrusted_store.Mem.crash}'s seeded partial persistence
     of unsynced writes yields the full sweep space: crash at every boundary
-    x every subset of surviving cached writes. *)
+    x every subset of surviving cached writes.
+
+    Vectored writes lose no coverage: {!Tdb_platform.Untrusted_store.interpose}
+    decomposes a [writev] into one [Op_write] boundary per fragment, with
+    earlier fragments individually applied — so the plan can crash at every
+    record edge inside a coalesced flush, and the {!Torn} mode still tears
+    the fragment at the crash point in half. *)
 
 exception Crash_point
 

@@ -36,4 +36,7 @@ val crashed : t -> bool
 
 val instrument : t -> Tdb_platform.Untrusted_store.t -> Tdb_platform.Untrusted_store.t
 (** Wrap a store so its mutating operations hit this plan's boundary
-    counter. Reads pass through untouched. *)
+    counter. Reads pass through untouched. A vectored write counts one
+    boundary {e per fragment} (earlier fragments apply individually), so
+    coalesced flushes expose the same crash points as the equivalent
+    sequence of plain writes. *)

@@ -15,17 +15,19 @@
 
 type stats = {
   mutable reads : int;
-  mutable writes : int;
+  mutable writes : int; (* write calls: a writev counts once *)
+  mutable fragments : int; (* fragments written: a writev counts its list length *)
   mutable bytes_read : int;
   mutable bytes_written : int;
   mutable syncs : int;
 }
 
-let fresh_stats () = { reads = 0; writes = 0; bytes_read = 0; bytes_written = 0; syncs = 0 }
+let fresh_stats () = { reads = 0; writes = 0; fragments = 0; bytes_read = 0; bytes_written = 0; syncs = 0 }
 
 type t = {
   read : off:int -> len:int -> bytes;
   write : off:int -> string -> unit;
+  writev : off:int -> string list -> unit;
   size : unit -> int;
   set_size : int -> unit;
   sync : unit -> unit;
@@ -35,6 +37,7 @@ type t = {
 
 let read t = t.read
 let write t = t.write
+let writev t = t.writev
 let size t = t.size ()
 let set_size t n = t.set_size n
 let sync t = t.sync ()
@@ -56,6 +59,24 @@ let interpose ~(before : op -> unit) (s : t) : t =
       (fun ~off data ->
         before (Op_write { off; data });
         s.write ~off data);
+    writev =
+      (fun ~off frags ->
+        (* Decompose a vectored write into per-fragment boundaries: the hook
+           observes (and may crash at) every fragment edge, and fragments
+           before the crash point reach the underlying store individually —
+           so a torn writev loses an arbitrary fragment suffix, exactly like
+           the equivalent sequence of plain writes. *)
+        let _ =
+          List.fold_left
+            (fun off frag ->
+              if String.length frag > 0 then begin
+                before (Op_write { off; data = frag });
+                s.write ~off frag
+              end;
+              off + String.length frag)
+            off frags
+        in
+        ());
     set_size =
       (fun n ->
         before (Op_set_size n);
@@ -120,7 +141,7 @@ let apply_op (buf, size) = function
 
 let mem_handle () : mem * t =
   let m =
-    { cur = Bytes.create 4096; cur_size = 0; stable = Bytes.create 0; stable_size = 0; pending = [] }
+    { cur = Bytes.make 4096 '\000'; cur_size = 0; stable = Bytes.create 0; stable_size = 0; pending = [] }
   in
   let stats = fresh_stats () in
   let read ~off ~len =
@@ -149,17 +170,44 @@ let mem_handle () : mem * t =
       pending_count := keep
     end
   in
-  let write ~off s =
-    if off < 0 then invalid_arg "Untrusted_store.write: negative offset";
+  let blit_one ~off s =
     let len = String.length s in
     ensure_capacity m (off + len);
+    (* writing past the current end extends the store; the hole (if any)
+       reads as zeros, like a sparse file *)
+    if off > m.cur_size then Bytes.fill m.cur m.cur_size (off - m.cur_size) '\000';
     Bytes.blit_string s 0 m.cur off len;
     if off + len > m.cur_size then m.cur_size <- off + len;
     m.pending <- W (off, s) :: m.pending;
-    incr pending_count;
+    incr pending_count
+  in
+  let write ~off s =
+    if off < 0 then invalid_arg "Untrusted_store.write: negative offset";
+    blit_one ~off s;
     destage_old ();
     stats.writes <- stats.writes + 1;
-    stats.bytes_written <- stats.bytes_written + len
+    stats.fragments <- stats.fragments + 1;
+    stats.bytes_written <- stats.bytes_written + String.length s
+  in
+  let writev ~off frags =
+    if off < 0 then invalid_arg "Untrusted_store.writev: negative offset";
+    (* One store operation, but each fragment stays a separate pending entry
+       so a crash can lose an arbitrary subset of fragments (a torn vectored
+       write), matching the per-fragment boundaries [interpose] exposes. *)
+    let total =
+      List.fold_left
+        (fun o frag ->
+          if String.length frag > 0 then blit_one ~off:o frag;
+          o + String.length frag)
+        off frags
+      - off
+    in
+    if total > 0 then begin
+      destage_old ();
+      stats.writes <- stats.writes + 1;
+      stats.fragments <- stats.fragments + List.length (List.filter (fun f -> String.length f > 0) frags);
+      stats.bytes_written <- stats.bytes_written + total
+    end
   in
   let sync () =
     stats.syncs <- stats.syncs + 1;
@@ -184,6 +232,7 @@ let mem_handle () : mem * t =
     {
       read;
       write;
+      writev;
       size = (fun () -> m.cur_size);
       set_size;
       sync;
@@ -269,20 +318,42 @@ let open_file (path : string) : t =
     stats.bytes_read <- stats.bytes_read + len;
     buf
   in
-  let write ~off s =
+  let write_bytes ~off b =
     ignore (Unix.lseek fd off Unix.SEEK_SET);
-    let b = Bytes.unsafe_of_string s in
     let rec drain pos =
       if pos < Bytes.length b then drain (pos + Unix.write fd b pos (Bytes.length b - pos))
     in
     drain 0;
-    if off + String.length s > !size then size := off + String.length s;
+    if off + Bytes.length b > !size then size := off + Bytes.length b
+  in
+  let write ~off s =
+    write_bytes ~off (Bytes.unsafe_of_string s);
     stats.writes <- stats.writes + 1;
+    stats.fragments <- stats.fragments + 1;
     stats.bytes_written <- stats.bytes_written + String.length s
+  in
+  let writev ~off frags =
+    let total = List.fold_left (fun n f -> n + String.length f) 0 frags in
+    if total > 0 then begin
+      (* coalesce into one contiguous kernel write: one seek, one syscall run *)
+      let buf = Bytes.create total in
+      let _ =
+        List.fold_left
+          (fun pos f ->
+            Bytes.blit_string f 0 buf pos (String.length f);
+            pos + String.length f)
+          0 frags
+      in
+      write_bytes ~off buf;
+      stats.writes <- stats.writes + 1;
+      stats.fragments <- stats.fragments + List.length (List.filter (fun f -> String.length f > 0) frags);
+      stats.bytes_written <- stats.bytes_written + total
+    end
   in
   {
     read;
     write;
+    writev;
     size = (fun () -> !size);
     set_size =
       (fun n ->

@@ -12,7 +12,8 @@
 
 type stats = {
   mutable reads : int;
-  mutable writes : int;
+  mutable writes : int;  (** write calls; a [writev] counts once *)
+  mutable fragments : int;  (** fragments written; a [writev] counts its list length *)
   mutable bytes_read : int;
   mutable bytes_written : int;
   mutable syncs : int;
@@ -21,6 +22,7 @@ type stats = {
 type t = {
   read : off:int -> len:int -> bytes;
   write : off:int -> string -> unit;
+  writev : off:int -> string list -> unit;
   size : unit -> int;
   set_size : int -> unit;
   sync : unit -> unit;
@@ -35,6 +37,15 @@ val read : t -> off:int -> len:int -> bytes
 
 val write : t -> off:int -> string -> unit
 (** Extends the store as needed; holes read as zeros. *)
+
+val writev : t -> off:int -> string list -> unit
+(** Write the concatenation of the fragments contiguously at [off]: one
+    store operation (one seek + one kernel write on the file backend, one
+    blit run on the mem backend). Empty fragments are skipped; an empty (or
+    all-empty) list is a no-op. Crash semantics are those of the equivalent
+    sequence of per-fragment {!write}s: a crash may persist an arbitrary
+    subset of fragments, and {!interpose} hooks observe each fragment as a
+    separate [Op_write] boundary. *)
 
 val size : t -> int
 
@@ -58,7 +69,10 @@ val interpose : before:(op -> unit) -> t -> t
 (** Wrap a store so [before] observes every mutating operation at its
     write/sync boundary, before it executes. The hook may raise to model a
     crash arrested exactly at that boundary (see {!Tdb_faultsim.Fault_plan});
-    reads pass through untouched. *)
+    reads pass through untouched. A [writev] is decomposed into per-fragment
+    [Op_write] boundaries (fragments before a crash point reach the
+    underlying store individually), so coalescing writes never removes crash
+    points the fault harness could otherwise hit. *)
 
 (** {1 In-memory store with fault injection} *)
 

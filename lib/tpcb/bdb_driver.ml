@@ -80,5 +80,9 @@ let bytes_written (t : t) : int =
   (Untrusted_store.stats t.data).Untrusted_store.bytes_written
   + (Untrusted_store.stats t.wal).Untrusted_store.bytes_written
 
+let store_writes (t : t) : int =
+  (Untrusted_store.stats t.data).Untrusted_store.writes
+  + (Untrusted_store.stats t.wal).Untrusted_store.writes
+
 let db_size (t : t) : int = Untrusted_store.size t.data + Untrusted_store.size t.wal
 let sim_time (t : t) : float = t.clock.Sim_disk.elapsed

@@ -13,5 +13,9 @@ type t = {
 val setup : ?model:Sim_disk.model -> Workload.scale -> t
 val txn : t -> Workload.txn_input -> int
 val bytes_written : t -> int
+
+val store_writes : t -> int
+(** Cumulative write calls across data + WAL stores. *)
+
 val db_size : t -> int
 val sim_time : t -> float

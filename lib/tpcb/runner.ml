@@ -11,6 +11,8 @@ type result = {
   cpu_avg_ms : float;
   io_avg_ms : float;
   bytes_per_txn : float; (* steady-state *)
+  store_writes_per_txn : float; (* store write calls; a vectored flush counts once *)
+  store_bytes_per_txn : float; (* same accounting window as store_writes_per_txn *)
   db_size : int; (* final on-disk footprint, bytes *)
   live_bytes : int; (* TDB only: live data *)
   alloc_words_per_txn : float; (* GC words allocated per measured txn *)
@@ -36,10 +38,12 @@ let mean (samples : float array) : float =
 
 (** Drive [txn] for [scale.transactions] inputs; measure the trailing
     [scale.measured]. [sim_time] reads the simulated-I/O clock; [bytes]
-    reads cumulative bytes written. *)
+    reads cumulative bytes written; [writes] reads cumulative store write
+    calls (same foreground-only accounting window). *)
 let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~(seed : string)
-    ~(txn : Workload.txn_input -> unit) ~(sim_time : unit -> float) ~(bytes : unit -> int) :
-    float array * float array * float array * float * float =
+    ~(txn : Workload.txn_input -> unit) ~(sim_time : unit -> float) ~(bytes : unit -> int)
+    ~(writes : unit -> int) :
+    float array * float array * float array * float * float * float =
   let rng = Tdb_crypto.Drbg.create ~seed in
   let n = scale.Workload.transactions in
   let measured = min n scale.Workload.measured in
@@ -48,6 +52,7 @@ let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~
   let cpu = Array.make measured 0.0 in
   let io = Array.make measured 0.0 in
   let fg_bytes = ref 0 in
+  let fg_writes = ref 0 in
   let alloc = ref 0.0 in
   for i = 0 to n - 1 do
     (* DRM workloads are "short sequences of transactions separated by long
@@ -58,7 +63,7 @@ let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~
     | Some k, Some f when i > 0 && i mod k = 0 -> f ()
     | _ -> ());
     let input = Workload.gen_txn rng scale in
-    let t0 = Unix.gettimeofday () and s0 = sim_time () and b0 = bytes () in
+    let t0 = Unix.gettimeofday () and s0 = sim_time () and b0 = bytes () and w0 = writes () in
     let a0 = Gc.allocated_bytes () in
     txn input;
     let t1 = Unix.gettimeofday () and s1 = sim_time () in
@@ -69,21 +74,24 @@ let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~
       io.(j) <- s1 -. s0;
       total.(j) <- (t1 -. t0) +. (s1 -. s0);
       fg_bytes := !fg_bytes + (bytes () - b0);
+      fg_writes := !fg_writes + (writes () - w0);
       alloc := !alloc +. (a1 -. a0)
     end
   done;
   let bytes_per_txn = float_of_int !fg_bytes /. float_of_int measured in
+  let writes_per_txn = float_of_int !fg_writes /. float_of_int measured in
   let alloc_per_txn = !alloc /. float_of_int (Sys.word_size / 8) /. float_of_int measured in
-  (total, cpu, io, bytes_per_txn, alloc_per_txn)
+  (total, cpu, io, bytes_per_txn, writes_per_txn, alloc_per_txn)
 
 let run_tdb ?(security = true) ?(max_utilization = 0.6) ?model ?idle_every (scale : Workload.scale) :
     result =
   let t = Tdb_driver.setup ~security ~max_utilization ?model scale in
-  let total, cpu, io, bytes_per_txn, alloc_words_per_txn =
+  let total, cpu, io, bytes_per_txn, writes_per_txn, alloc_words_per_txn =
     drive ?idle_every ~idle:(fun () -> Tdb_driver.idle_clean t) scale ~seed:"tpcb-run"
       ~txn:(fun input -> ignore (Tdb_driver.txn t input))
       ~sim_time:(fun () -> Tdb_driver.sim_time t)
       ~bytes:(fun () -> Tdb_driver.bytes_written t)
+      ~writes:(fun () -> Tdb_driver.store_writes t)
   in
   let st = Tdb_driver.stats t in
   {
@@ -94,6 +102,8 @@ let run_tdb ?(security = true) ?(max_utilization = 0.6) ?model ?idle_every (scal
     cpu_avg_ms = 1000. *. mean cpu;
     io_avg_ms = 1000. *. mean io;
     bytes_per_txn;
+    store_writes_per_txn = writes_per_txn;
+    store_bytes_per_txn = bytes_per_txn;
     db_size = Tdb_driver.db_size t;
     live_bytes = Tdb_driver.live_bytes t;
     alloc_words_per_txn;
@@ -103,11 +113,12 @@ let run_tdb ?(security = true) ?(max_utilization = 0.6) ?model ?idle_every (scal
 
 let run_bdb ?model (scale : Workload.scale) : result =
   let t = Bdb_driver.setup ?model scale in
-  let total, cpu, io, bytes_per_txn, alloc_words_per_txn =
+  let total, cpu, io, bytes_per_txn, writes_per_txn, alloc_words_per_txn =
     drive scale ~seed:"tpcb-run"
       ~txn:(fun input -> ignore (Bdb_driver.txn t input))
       ~sim_time:(fun () -> Bdb_driver.sim_time t)
       ~bytes:(fun () -> Bdb_driver.bytes_written t)
+      ~writes:(fun () -> Bdb_driver.store_writes t)
   in
   {
     label = "BerkeleyDB";
@@ -117,6 +128,8 @@ let run_bdb ?model (scale : Workload.scale) : result =
     cpu_avg_ms = 1000. *. mean cpu;
     io_avg_ms = 1000. *. mean io;
     bytes_per_txn;
+    store_writes_per_txn = writes_per_txn;
+    store_bytes_per_txn = bytes_per_txn;
     db_size = Bdb_driver.db_size t;
     live_bytes = 0;
     alloc_words_per_txn;
@@ -125,8 +138,9 @@ let run_bdb ?model (scale : Workload.scale) : result =
   }
 
 let pp_result ppf (r : result) =
-  Format.fprintf ppf "%-12s avg %6.2f ms  (cpu %5.2f + io %5.2f)  p95 %6.2f ms  %7.0f B/txn  db %6.2f MB"
-    r.label r.avg_ms r.cpu_avg_ms r.io_avg_ms r.p95_ms r.bytes_per_txn
+  Format.fprintf ppf
+    "%-12s avg %6.2f ms  (cpu %5.2f + io %5.2f)  p95 %6.2f ms  %7.0f B/txn  %5.1f w/txn  db %6.2f MB"
+    r.label r.avg_ms r.cpu_avg_ms r.io_avg_ms r.p95_ms r.bytes_per_txn r.store_writes_per_txn
     (float_of_int r.db_size /. 1048576.);
   if r.cache_hits + r.cache_misses > 0 then
     Format.fprintf ppf "  cache %.0f%%" (100. *. hit_rate r)

@@ -10,6 +10,9 @@ type result = {
   cpu_avg_ms : float;
   io_avg_ms : float;
   bytes_per_txn : float;  (** foreground (transaction-path) writes only *)
+  store_writes_per_txn : float;
+      (** foreground store write {e calls} — a vectored flush counts once *)
+  store_bytes_per_txn : float;  (** foreground store bytes, same window *)
   db_size : int;
   live_bytes : int;  (** TDB only *)
   alloc_words_per_txn : float;  (** GC words allocated per measured txn *)

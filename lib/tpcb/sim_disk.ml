@@ -65,6 +65,18 @@ let wrap_store (m : model) (c : clock) (s : Tdb_platform.Untrusted_store.t) : Td
         last_end := off + String.length data;
         pending := true;
         s.Tdb_platform.Untrusted_store.write ~off data);
+    Tdb_platform.Untrusted_store.writev =
+      (fun ~off frags ->
+        (* one contiguous device write: at most one positioning charge,
+           then the summed transfer *)
+        let total = List.fold_left (fun n f -> n + String.length f) 0 frags in
+        if total > 0 then begin
+          if not (Int.equal off !last_end) then c.elapsed <- c.elapsed +. m.position_s;
+          c.elapsed <- c.elapsed +. (float_of_int total /. m.transfer_bytes_per_s);
+          last_end := off + total;
+          pending := true
+        end;
+        s.Tdb_platform.Untrusted_store.writev ~off frags);
     Tdb_platform.Untrusted_store.sync =
       (fun () ->
         if !pending then c.elapsed <- c.elapsed +. m.force_s;

@@ -132,6 +132,7 @@ let txn (t : t) (input : Workload.txn_input) : int =
 let idle_clean (t : t) : unit = Chunk_store.clean ~max_segments:16 t.cs
 
 let bytes_written (t : t) : int = (Untrusted_store.stats t.store).Untrusted_store.bytes_written
+let store_writes (t : t) : int = (Untrusted_store.stats t.store).Untrusted_store.writes
 let db_size (t : t) : int = Chunk_store.store_size t.cs
 let live_bytes (t : t) : int = Chunk_store.live_bytes t.cs
 let sim_time (t : t) : float = t.clock.Sim_disk.elapsed

@@ -28,6 +28,10 @@ val idle_clean : t -> unit
 (** Idle-period maintenance (uncharged by the runner). *)
 
 val bytes_written : t -> int
+
+val store_writes : t -> int
+(** Cumulative store write calls (a vectored flush counts once). *)
+
 val db_size : t -> int
 val live_bytes : t -> int
 val sim_time : t -> float

@@ -39,6 +39,63 @@ let test_write_read () =
   Alcotest.(check string) "read a" "alpha" (Chunk_store.read cs a);
   Alcotest.(check string) "read b" "beta" (Chunk_store.read cs b)
 
+(* The vectored write path: a commit's records — chunk data and the commit
+   record — reach the store as a single coalesced flush, while every record
+   edge stays an individually losable fragment for the crash model. *)
+let test_commit_single_flush () =
+  let env = fresh_env () in
+  let cs = create env in
+  Chunk_store.commit cs (* settle any creation-time writes *);
+  let ids = List.init 6 (fun _ -> Chunk_store.allocate cs) in
+  List.iteri
+    (fun i cid -> Chunk_store.write cs cid (Printf.sprintf "payload-%d-%s" i (String.make 64 'p')))
+    ids;
+  let st = Untrusted_store.stats env.store in
+  let w0 = st.Untrusted_store.writes and f0 = st.Untrusted_store.fragments in
+  Chunk_store.commit ~durable:true cs;
+  let dw = st.Untrusted_store.writes - w0 and df = st.Untrusted_store.fragments - f0 in
+  Alcotest.(check bool) (Printf.sprintf "one coalesced flush (%d write calls)" dw) true (dw >= 1 && dw <= 2);
+  Alcotest.(check bool) (Printf.sprintf "record edges stay fragments (%d)" df) true (df >= 13);
+  List.iteri
+    (fun i cid ->
+      Alcotest.(check string) "readback" (Printf.sprintf "payload-%d-%s" i (String.make 64 'p'))
+        (Chunk_store.read cs cid))
+    ids
+
+(* A crash can preserve stale [Next_segment] bytes from a segment's
+   previous incarnation, so the residual chain on the store may contain a
+   cycle. scan_chain must treat the revisit as the end of the chain (the
+   durable-prefix rule truncates there) rather than loop forever — found
+   by the crashfuzz commit-flush sweep at a fragment boundary whose
+   surviving-writes subset kept an old marker intact. *)
+let test_scan_chain_cycle () =
+  let _, store = Untrusted_store.open_mem () in
+  let log = Log.create store (cfg ()) in
+  let seg_size = Log.segment_size log in
+  let seg_start s = log.Log.log_base + (s * seg_size) in
+  let header kind len =
+    let h = Bytes.create Log.header_size in
+    Bytes.set h 0 Log.magic_byte;
+    Bytes.set h 1 (Char.chr (Types.kind_to_byte kind));
+    Bytes.set h 2 (Char.chr ((len lsr 24) land 0xff));
+    Bytes.set h 3 (Char.chr ((len lsr 16) land 0xff));
+    Bytes.set h 4 (Char.chr ((len lsr 8) land 0xff));
+    Bytes.set h 5 (Char.chr (len land 0xff));
+    Bytes.to_string h
+  in
+  let marker next =
+    header Types.Next_segment 4
+    ^ String.init 4 (fun i -> Char.chr ((next lsr (8 * (3 - i))) land 0xff))
+  in
+  let data s = header Types.Data_chunk (String.length s) ^ s in
+  (* segment 0 chains to 1; segment 1 holds stale debris chaining back to 0 *)
+  Untrusted_store.write store ~off:(seg_start 0) (data "aaaa" ^ marker 1);
+  Untrusted_store.write store ~off:(seg_start 1) (data "bbbb" ^ marker 0);
+  let seen = ref [] in
+  Log.scan_chain log ~seg:0 ~off:0 ~f:(fun _ _ payload -> seen := payload :: !seen);
+  Alcotest.(check (list string)) "each segment's records visited once" [ "aaaa"; "bbbb" ]
+    (List.rev !seen)
+
 let test_read_uncommitted_batch () =
   let env = fresh_env () in
   let cs = create env in
@@ -802,6 +859,8 @@ let () =
       ( "api",
         [
           Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "commit is one coalesced flush" `Quick test_commit_single_flush;
+          Alcotest.test_case "scan_chain terminates on a marker cycle" `Quick test_scan_chain_cycle;
           Alcotest.test_case "pending batch visible" `Quick test_read_uncommitted_batch;
           Alcotest.test_case "unallocated signals" `Quick test_unallocated_signals;
           Alcotest.test_case "overwrite/resize" `Quick test_overwrite_and_resize;

@@ -29,7 +29,10 @@ let test_torn_nondurable_chain () =
     let base = Chunk_store.allocate cs in
     Chunk_store.write cs base "durable-baseline";
     Chunk_store.commit ~durable:true cs;
-    let writes_before = (Untrusted_store.stats store).Untrusted_store.writes in
+    (* count fragments, not write calls: the batch lands as a few vectored
+       flushes, but each record edge is still a separately losable fragment
+       (one pending entry, one Mem.crash rng draw) *)
+    let frags_before = (Untrusted_store.stats store).Untrusted_store.fragments in
     let ids =
       List.init n_chunks (fun i ->
           let cid = Chunk_store.allocate cs in
@@ -37,7 +40,7 @@ let test_torn_nondurable_chain () =
           cid)
     in
     Chunk_store.commit ~durable:false cs;
-    let unsynced = (Untrusted_store.stats store).Untrusted_store.writes - writes_before in
+    let unsynced = (Untrusted_store.stats store).Untrusted_store.fragments - frags_before in
     (* survive every unsynced write except the [drop]-th *)
     let w = ref (-1) in
     Untrusted_store.Mem.crash ~persist_prob:0.5
@@ -216,6 +219,21 @@ let test_crashfuzz_group_commit () =
         (List.length report.Crashfuzz.violations)
         v.Crashfuzz.v_run v.Crashfuzz.v_kind v.Crashfuzz.v_detail)
 
+(* Same sweep with every commit a large durable multi-chunk commit: each
+   flush is one coalesced vectored write, decomposed by the fault plan
+   into per-fragment crash boundaries — header/payload splits, record
+   seams and chain markers of a single commit flush. *)
+let test_crashfuzz_commit_flush () =
+  let report = Crashfuzz.sweep_commit_flush ~trace:Crashfuzz.smoke_trace ~seeds:2 ~stride:17 () in
+  Alcotest.(check bool) "swept a real trace" true (report.Crashfuzz.boundaries > 50);
+  Alcotest.(check bool) "crashed and recovered" true (report.Crashfuzz.recoveries > 0);
+  (match report.Crashfuzz.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%d violations, first: %s %s: %s"
+        (List.length report.Crashfuzz.violations)
+        v.Crashfuzz.v_run v.Crashfuzz.v_kind v.Crashfuzz.v_detail)
+
 let test_tamper_smoke () =
   let report = Crashfuzz.sweep_tamper ~stride:41 ~trace:Crashfuzz.smoke_trace () in
   Alcotest.(check int) "no silent corruption" 0 report.Crashfuzz.silent;
@@ -241,6 +259,7 @@ let () =
         [
           Alcotest.test_case "bounded crashpoint sweep" `Slow test_crashfuzz_smoke;
           Alcotest.test_case "bounded group-commit sweep" `Slow test_crashfuzz_group_commit;
+          Alcotest.test_case "bounded commit-flush sweep" `Slow test_crashfuzz_commit_flush;
           Alcotest.test_case "bounded tamper sweep" `Slow test_tamper_smoke;
         ] );
     ]

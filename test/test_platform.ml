@@ -67,6 +67,111 @@ let test_mem_stats () =
   Alcotest.(check int) "bytes read" 2 st.Untrusted_store.bytes_read;
   Alcotest.(check int) "syncs" 1 st.Untrusted_store.syncs
 
+(* --- vectored writes --- *)
+
+let test_mem_writev () =
+  let _h, s = Untrusted_store.open_mem () in
+  Untrusted_store.writev s ~off:0 [ "head"; ""; "-"; "tail" ];
+  Alcotest.(check string) "concatenated" "head-tail" (Bytes.to_string (Untrusted_store.read s ~off:0 ~len:9));
+  let st = Untrusted_store.stats s in
+  Alcotest.(check int) "one write call" 1 st.Untrusted_store.writes;
+  Alcotest.(check int) "three fragments (empties skipped)" 3 st.Untrusted_store.fragments;
+  Alcotest.(check int) "bytes" 9 st.Untrusted_store.bytes_written;
+  (* hole-extension: a writev past the end grows the store, hole zeroed *)
+  Untrusted_store.writev s ~off:20 [ "far"; "away" ];
+  Alcotest.(check int) "sparse grows" 27 (Untrusted_store.size s);
+  Alcotest.(check string) "hole zeros" (String.make 5 '\000')
+    (Bytes.to_string (Untrusted_store.read s ~off:10 ~len:5));
+  Alcotest.(check string) "far data" "faraway" (Bytes.to_string (Untrusted_store.read s ~off:20 ~len:7));
+  (* empty fragment list: no-op, no stats *)
+  let w = (Untrusted_store.stats s).Untrusted_store.writes in
+  Untrusted_store.writev s ~off:1000 [];
+  Untrusted_store.writev s ~off:1000 [ ""; "" ];
+  Alcotest.(check int) "empty writev is a no-op" w (Untrusted_store.stats s).Untrusted_store.writes;
+  Alcotest.(check int) "size unchanged" 27 (Untrusted_store.size s)
+
+let test_mem_writev_crash_fragment_suffix () =
+  (* a crash may lose an arbitrary fragment suffix of an unsynced writev:
+     each fragment is a separate pending entry, so with an rng keeping the
+     first k draws, exactly the first k fragments survive *)
+  let n_frags = 4 in
+  let frags = List.init n_frags (fun i -> String.make 4 (Char.chr (Char.code 'a' + i))) in
+  for k = 0 to n_frags do
+    let h, s = Untrusted_store.open_mem () in
+    Untrusted_store.write s ~off:0 (String.make (4 * n_frags) '.');
+    Untrusted_store.sync s;
+    Untrusted_store.writev s ~off:0 frags;
+    let drawn = ref 0 in
+    Untrusted_store.Mem.crash ~persist_prob:0.5
+      ~rng:(fun _ ->
+        incr drawn;
+        if !drawn <= k then 0 else 999)
+      h;
+    let expect =
+      String.concat ""
+        (List.mapi (fun i f -> if i < k then f else String.make 4 '.') frags)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "first %d fragments survive" k)
+      expect
+      (Bytes.to_string (Untrusted_store.read s ~off:0 ~len:(4 * n_frags)))
+  done
+
+let test_writev_interpose_boundaries () =
+  (* interpose decomposes a writev into per-fragment boundaries, skipping
+     empty fragments, with prior fragments applied individually *)
+  let _h, raw = Untrusted_store.open_mem () in
+  let seen = ref [] in
+  let s =
+    Untrusted_store.interpose raw ~before:(fun op ->
+        match op with
+        | Untrusted_store.Op_write { off; data } -> seen := (off, data) :: !seen
+        | _ -> ())
+  in
+  Untrusted_store.writev s ~off:10 [ "aa"; ""; "bbb"; "c" ];
+  Alcotest.(check (list (pair int string)))
+    "per-fragment boundaries, empties skipped"
+    [ (10, "aa"); (12, "bbb"); (15, "c") ]
+    (List.rev !seen);
+  Alcotest.(check string) "all fragments applied" "aabbbc"
+    (Bytes.to_string (Untrusted_store.read raw ~off:10 ~len:6));
+  (* a hook that raises at fragment k leaves exactly k fragments applied *)
+  let count = ref 0 in
+  let s2 =
+    Untrusted_store.interpose raw ~before:(fun op ->
+        match op with
+        | Untrusted_store.Op_write _ ->
+            incr count;
+            if !count > 2 then failwith "crash"
+        | _ -> ())
+  in
+  (match Untrusted_store.writev s2 ~off:100 [ "11"; "22"; "33"; "44" ] with
+  | () -> Alcotest.fail "hook did not crash"
+  | exception Failure _ -> ());
+  Alcotest.(check string) "prefix fragments applied" "1122"
+    (Bytes.to_string (Untrusted_store.read raw ~off:100 ~len:4));
+  Alcotest.(check int) "suffix never written" 104 (Untrusted_store.size raw)
+
+let test_file_writev () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "db" in
+      let s = Untrusted_store.open_file path in
+      Untrusted_store.write s ~off:0 "0123456789";
+      Untrusted_store.writev s ~off:4 [ "AB"; ""; "CD" ];
+      let st = Untrusted_store.stats s in
+      Alcotest.(check int) "two write calls" 2 st.Untrusted_store.writes;
+      Alcotest.(check int) "fragments" 3 st.Untrusted_store.fragments;
+      Untrusted_store.sync s;
+      Untrusted_store.close s;
+      let s2 = Untrusted_store.open_file path in
+      Alcotest.(check string) "reopen sees coalesced write" "0123ABCD89"
+        (Bytes.to_string (Untrusted_store.read s2 ~off:0 ~len:10));
+      (* extension via writev *)
+      Untrusted_store.writev s2 ~off:10 [ "xx"; "yy" ];
+      Alcotest.(check int) "extends" 14 (Untrusted_store.size s2);
+      Alcotest.(check string) "tail" "xxyy" (Bytes.to_string (Untrusted_store.read s2 ~off:10 ~len:4));
+      Untrusted_store.close s2)
+
 (* --- untrusted store (file) --- *)
 
 let test_file_store () =
@@ -192,8 +297,15 @@ let () =
           Alcotest.test_case "crash partial persistence" `Quick test_mem_crash_partial_persistence;
           Alcotest.test_case "tamper + replay" `Quick test_mem_tamper_and_snapshot;
           Alcotest.test_case "stats" `Quick test_mem_stats;
+          Alcotest.test_case "writev" `Quick test_mem_writev;
+          Alcotest.test_case "writev crash loses fragment suffix" `Quick test_mem_writev_crash_fragment_suffix;
+          Alcotest.test_case "writev interpose boundaries" `Quick test_writev_interpose_boundaries;
         ] );
-      ("untrusted-file", [ Alcotest.test_case "file roundtrip" `Quick test_file_store ]);
+      ( "untrusted-file",
+        [
+          Alcotest.test_case "file roundtrip" `Quick test_file_store;
+          Alcotest.test_case "file writev" `Quick test_file_writev;
+        ] );
       ( "one-way-counter",
         [
           Alcotest.test_case "mem" `Quick test_counter_mem;
