@@ -36,7 +36,7 @@ let loc_of_file path =
   (try
      while true do
        let line = input_line ic in
-       if String.trim line <> "" then incr n
+       if not (String.equal (String.trim line) "") then incr n
      done
    with End_of_file -> ());
   close_in ic;
@@ -96,7 +96,7 @@ let run () =
       Printf.printf "%-22s %10s %12s %14s\n" "comparison engines" "LoC" "archive KB" "paper .text KB";
       List.iter
         (fun (name, paper, dir) ->
-          if dir = "" then Printf.printf "%-22s %10s %12s %14d\n" name "-" "-" paper
+          if String.equal dir "" then Printf.printf "%-22s %10s %12s %14d\n" name "-" "-" paper
           else
             Printf.printf "%-22s %10d %12d %14d\n" (name ^ " (ours)") (loc_of_dirs root [ dir ])
               (archive_kb root [ dir ]) paper)

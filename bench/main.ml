@@ -130,7 +130,11 @@ let figure11 (scale : Workload.scale) =
     bdb.Runner.avg_ms
     (float_of_int bdb.Runner.db_size /. 1048576.)
     "-";
-  let first = snd (List.hd results) and last = snd (List.nth results 4) in
+  let first, last =
+    match (results, List.rev results) with
+    | (_, f) :: _, (_, l) :: _ -> (f, l)
+    | _ -> failwith "utilization sweep returned no results"
+  in
   Printf.printf "\nshape: response flat early then climbing (%.2f -> %.2f ms); paper: ~3.7 -> ~6.5 ms\n"
     first.Runner.avg_ms last.Runner.avg_ms;
   Printf.printf "shape: database size decreases with utilization (%.2f -> %.2f MB); BDB far larger (%.2f MB)\n\n"
@@ -294,7 +298,7 @@ let usage () =
   exit 1
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let args = match Array.to_list Sys.argv with _exe :: rest -> rest | [] -> [] in
   let scale = ref "default" and idle = ref true and json = ref false and cmds = ref [] in
   let rec parse = function
     | [] -> ()

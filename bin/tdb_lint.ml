@@ -1,44 +1,152 @@
 (** tdb_lint — static analysis over TDB's own sources, enforcing the
     trust invariants the paper's security argument depends on.
 
-    Usage: [tdb_lint [--root DIR] [--allow FILE] [DIR ...]]
+    Usage: [tdb_lint [--root DIR] [--allow FILE] [--refresh-allow]
+                     [--json FILE] [--dot FILE] [DIR ...]]
 
-    Lints every [.ml] under the given directories (default [lib]),
-    prints violations as [file:line: [RULE] message], and exits nonzero
-    if any survive the allowlist — or if the allowlist itself has stale
-    entries. Run it via [dune build @lint]. *)
+    Lints every [.ml] under the given directories (default [lib]) with
+    the syntactic rules R1-R5 and the interprocedural analyses R6
+    (secret taint) and R7 (lock discipline), prints violations as
+    [file:line: [RULE] message], and exits nonzero if any survive the
+    allowlist — or if the allowlist itself has stale entries.
+
+    [--refresh-allow] instead rewrites the allowlist in place,
+    re-pointing entries whose line numbers drifted at the nearest
+    surviving violation of the same file and rule (justification
+    comments preserved) and failing if any entry matches nothing.
+
+    [--json FILE] writes a machine-readable report (per-rule counts,
+    call-graph and lock-graph sizes); [--dot FILE] writes the lock-order
+    graph in Graphviz format. CI uploads both as build artifacts.
+
+    Run the lint itself via [dune build @lint]. *)
 
 module Engine = Tdb_lint_engine.Engine
 module Allowlist = Tdb_lint_engine.Allowlist
 module Driver = Tdb_lint_engine.Driver
 
-let usage = "usage: tdb_lint [--root DIR] [--allow FILE] [DIR ...]"
+let usage =
+  "usage: tdb_lint [--root DIR] [--allow FILE] [--refresh-allow] [--json FILE] [--dot FILE] [DIR \
+   ...]"
+
+let all_rules = [ Engine.R1; R2; R3; R4; R5; R6; R7 ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json file (report : Driver.report) ~kept ~allowlisted ~stale =
+  let count rule vs = List.length (List.filter (fun v -> Engine.rule_equal v.Engine.v_rule rule) vs) in
+  let rule_counts vs =
+    String.concat ", "
+      (List.map (fun r -> Printf.sprintf "\"%s\": %d" (Engine.rule_id r) (count r vs)) all_rules)
+  in
+  let lock_edges =
+    String.concat ", "
+      (List.map
+         (fun (a, b) -> Printf.sprintf "[\"%s\", \"%s\"]" (json_escape a) (json_escape b))
+         report.Driver.stats.Driver.st_lock_edges)
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"files_checked\": %d,\n\
+        \  \"definitions\": %d,\n\
+        \  \"call_edges\": %d,\n\
+        \  \"violations_total\": {%s},\n\
+        \  \"violations_kept\": {%s},\n\
+        \  \"allowlisted\": %d,\n\
+        \  \"stale_allow_entries\": %d,\n\
+        \  \"lock_order_edges\": [%s]\n\
+         }\n"
+        report.Driver.files_checked report.Driver.stats.Driver.st_defs
+        report.Driver.stats.Driver.st_call_edges
+        (rule_counts report.Driver.violations)
+        (rule_counts kept) allowlisted stale lock_edges)
+
+let write_dot file (report : Driver.report) =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc "digraph lock_order {\n";
+      List.iter
+        (fun (a, b) -> Printf.fprintf oc "  \"%s\" -> \"%s\";\n" a b)
+        report.Driver.stats.Driver.st_lock_edges;
+      output_string oc "}\n")
 
 let () =
   let root = ref "." in
   let allow = ref "" in
+  let refresh = ref false in
+  let json = ref "" in
+  let dot = ref "" in
   let dirs = ref [] in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR repository root the lint paths are relative to (default .)");
       ("--allow", Arg.Set_string allow, "FILE allowlist of file:line:RULE suppressions");
+      ( "--refresh-allow",
+        Arg.Set refresh,
+        " rewrite the allowlist, re-pointing drifted line numbers (requires --allow)" );
+      ("--json", Arg.Set_string json, "FILE write a machine-readable lint report");
+      ("--dot", Arg.Set_string dot, "FILE write the lock-order graph (Graphviz)");
     ]
   in
   Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
   let dirs = match List.rev !dirs with [] -> [ "lib" ] | ds -> ds in
-  match
-    let report = Driver.scan ~root:!root dirs in
-    let entries = if String.equal !allow "" then [] else Allowlist.load !allow in
-    (report, entries)
-  with
+  if !refresh && String.equal !allow "" then begin
+    prerr_endline "tdb_lint: --refresh-allow requires --allow FILE";
+    exit 2
+  end;
+  match Driver.scan ~root:!root dirs with
   | exception Failure msg ->
       Printf.eprintf "tdb_lint: %s\n" msg;
       exit 2
   | exception Sys_error msg ->
       Printf.eprintf "tdb_lint: %s\n" msg;
       exit 2
-  | { Driver.files_checked; violations }, entries ->
-      let kept, stale = Allowlist.filter entries violations in
+  | report when !refresh -> (
+      match Allowlist.refresh !allow report.Driver.violations with
+      | exception Failure msg ->
+          Printf.eprintf "tdb_lint: %s\n" msg;
+          exit 2
+      | { Allowlist.r_lines; r_updated; r_unmatched } ->
+          let oc = open_out !allow in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> List.iter (fun l -> Printf.fprintf oc "%s\n" l) r_lines);
+          List.iter
+            (fun (e : Allowlist.entry) ->
+              Printf.eprintf
+                "tdb_lint: allowlist entry at %s (%s:%d:%s) matches no violation — delete it or \
+                 fix the path/rule\n"
+                e.Allowlist.a_source e.Allowlist.a_file e.Allowlist.a_line
+                (Engine.rule_id e.Allowlist.a_rule))
+            r_unmatched;
+          Printf.eprintf "tdb_lint: refreshed %s: %d entr(ies) re-pointed, %d unmatched\n" !allow
+            r_updated (List.length r_unmatched);
+          exit (if r_unmatched = [] then 0 else 1))
+  | report ->
+      let entries = if String.equal !allow "" then [] else Allowlist.load !allow in
+      let kept, stale = Allowlist.filter entries report.Driver.violations in
+      if not (String.equal !json "") then
+        write_json !json report ~kept
+          ~allowlisted:(List.length report.Driver.violations - List.length kept)
+          ~stale:(List.length stale);
+      if not (String.equal !dot "") then write_dot !dot report;
       List.iter
         (fun v ->
           Printf.printf "%s:%d: [%s] %s\n" v.Engine.v_file v.Engine.v_line
@@ -47,10 +155,16 @@ let () =
       List.iter
         (fun (e : Allowlist.entry) ->
           Printf.eprintf "tdb_lint: stale allowlist entry at %s: %s:%d:%s matches nothing\n"
-            e.Allowlist.a_source e.Allowlist.a_file e.Allowlist.a_line (Engine.rule_id e.Allowlist.a_rule))
+            e.Allowlist.a_source e.Allowlist.a_file e.Allowlist.a_line
+            (Engine.rule_id e.Allowlist.a_rule))
         stale;
-      Printf.eprintf "tdb_lint: %d file(s), %d violation(s), %d allowlisted, %d stale allow entr(ies)\n"
-        files_checked (List.length kept)
-        (List.length violations - List.length kept)
+      Printf.eprintf
+        "tdb_lint: %d file(s), %d def(s), %d call edge(s), %d lock edge(s), %d violation(s), %d \
+         allowlisted, %d stale allow entr(ies)\n"
+        report.Driver.files_checked report.Driver.stats.Driver.st_defs
+        report.Driver.stats.Driver.st_call_edges
+        (List.length report.Driver.stats.Driver.st_lock_edges)
+        (List.length kept)
+        (List.length report.Driver.violations - List.length kept)
         (List.length stale);
       (match (kept, stale) with [], [] -> exit 0 | _ -> exit 1)

@@ -59,6 +59,102 @@ let matches e (v : Engine.violation) =
   && Int.equal e.a_line v.Engine.v_line
   && Engine.rule_equal e.a_rule v.Engine.v_rule
 
+(* ------------------------------------------------------------------ *)
+(* Refresh                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type refresh_result = {
+  r_lines : string list;  (** the regenerated file, line by line *)
+  r_updated : int;  (** entries whose line number moved *)
+  r_unmatched : entry list;  (** entries matching no current violation *)
+}
+
+(** Rewrite an entry's raw line with a new source line number, preserving
+    the surrounding layout (the [# justification] suffix and its
+    spacing). *)
+let rewrite_raw raw ~file ~rule ~line =
+  let suffix =
+    match String.index_opt raw '#' with
+    | None -> ""
+    | Some i ->
+        let j = ref i in
+        while !j > 0 && (Char.equal raw.[!j - 1] ' ' || Char.equal raw.[!j - 1] '\t') do
+          decr j
+        done;
+        String.sub raw !j (String.length raw - !j)
+  in
+  Printf.sprintf "%s:%d:%s%s" file line (Engine.rule_id rule) suffix
+
+(** Re-point the allowlist at the current violation set: comments and
+    blank lines are preserved verbatim; each entry keeps its (file, rule)
+    and justification but gets the line number of the violation it
+    covers — its exact match if one still exists, otherwise the nearest
+    unclaimed violation of the same (file, rule). Entries covering
+    nothing at all are kept verbatim and reported in [r_unmatched] so a
+    dead grant is an explicit decision, never a silent drop. *)
+let refresh fname (violations : Engine.violation list) : refresh_result =
+  let raws =
+    let ic = open_in fname in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> In_channel.input_lines ic)
+  in
+  let vs = Array.of_list violations in
+  let claimed = Array.make (Array.length vs) false in
+  let parsed =
+    List.mapi (fun i raw -> (raw, parse_line ~source:fname ~lnum:(i + 1) raw)) raws
+  in
+  (* Pass 1: exact (file, line, rule) matches keep their violation. *)
+  let exact =
+    List.map
+      (fun (raw, entry) ->
+        match entry with
+        | None -> (raw, None, None)
+        | Some e ->
+            let hit = ref None in
+            Array.iteri
+              (fun i v -> if Option.is_none !hit && (not claimed.(i)) && matches e v then hit := Some i)
+              vs;
+            (match !hit with Some i -> claimed.(i) <- true | None -> ());
+            (raw, Some e, !hit))
+      parsed
+  in
+  (* Pass 2: drifted entries claim the nearest unclaimed violation of the
+     same file and rule. *)
+  let updated = ref 0 in
+  let unmatched = ref [] in
+  let lines =
+    List.map
+      (fun (raw, entry, hit) ->
+        match (entry, hit) with
+        | None, _ -> raw
+        | Some _, Some _ -> raw
+        | Some e, None -> (
+            let best = ref None in
+            Array.iteri
+              (fun i (v : Engine.violation) ->
+                if
+                  (not claimed.(i))
+                  && String.equal e.a_file v.Engine.v_file
+                  && Engine.rule_equal e.a_rule v.Engine.v_rule
+                then
+                  let d = abs (v.Engine.v_line - e.a_line) in
+                  match !best with
+                  | Some (_, bd) when bd <= d -> ()
+                  | _ -> best := Some (i, d))
+              vs;
+            match !best with
+            | Some (i, _) ->
+                claimed.(i) <- true;
+                incr updated;
+                rewrite_raw raw ~file:e.a_file ~rule:e.a_rule ~line:vs.(i).Engine.v_line
+            | None ->
+                unmatched := e :: !unmatched;
+                raw))
+      exact
+  in
+  { r_lines = lines; r_updated = !updated; r_unmatched = List.rev !unmatched }
+
 let filter entries violations =
   let arr = Array.of_list entries in
   let used = Array.make (Array.length arr) false in

@@ -18,3 +18,18 @@ val filter : entry list -> Engine.violation list -> Engine.violation list * entr
 (** [filter entries vs] is [(kept, stale)]: violations not covered by any
     entry, and entries that matched no violation (dead grants the caller
     should report). *)
+
+type refresh_result = {
+  r_lines : string list;  (** the regenerated file, line by line *)
+  r_updated : int;  (** entries whose line number moved *)
+  r_unmatched : entry list;  (** entries matching no current violation *)
+}
+
+val refresh : string -> Engine.violation list -> refresh_result
+(** [refresh fname violations] regenerates the allowlist at [fname]
+    against the current violation set: comments, blank lines and
+    justifications are preserved; entries whose site drifted get the line
+    number of the nearest unclaimed violation of the same (file, rule);
+    entries covering nothing are kept verbatim and reported in
+    [r_unmatched] — deleting a dead grant is an explicit decision.
+    Does not write the file. @raise Failure on a malformed entry. *)

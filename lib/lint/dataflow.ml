@@ -1,0 +1,197 @@
+(** Whole-program view for the interprocedural rules (R6/R7): parsed
+    compilation units, the table of top-level value definitions, and
+    name-based call resolution.
+
+    The lint pass sees parsetrees, not types, so "the call graph" here is
+    a name-resolution approximation: a definition is keyed by its
+    enclosing module name (derived from the file name, plus nested
+    [module M = struct ... end] blocks) and its value name; an
+    application [M.f x] resolves by the tail of the dotted path, an
+    unqualified [f x] by the current module. That is exact for this
+    repository's idiom (every library module is one file, aliases like
+    [module P = Tdb_pickle.Pickle] only shorten prefixes, and the tail
+    components survive aliasing) and degrades to "unknown call" — which
+    both analyses treat conservatively — where it is not. *)
+
+open Parsetree
+
+type unit_ = {
+  u_path : string;  (** repo-relative, '/'-separated *)
+  u_module : string;  (** "chunk_store.ml" -> "Chunk_store" *)
+  u_str : structure;
+}
+
+let module_of_path path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  String.capitalize_ascii base
+
+let parse_unit ~path source : unit_ =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  { u_path = path; u_module = module_of_path path; u_str = Parse.implementation lexbuf }
+
+(* ------------------------------------------------------------------ *)
+(* Definitions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type param = { p_label : string;  (** "" for unlabeled *) p_pat : pattern }
+
+type def = {
+  d_id : int;
+  d_path : string;  (** file of the definition *)
+  d_module : string;  (** innermost enclosing module name *)
+  d_name : string;  (** "_" for non-variable patterns (e.g. [let () = ...]) *)
+  d_params : param list;  (** empty for plain values *)
+  d_body : expression;
+  d_loc : Location.t;
+}
+
+type program = {
+  units : unit_ list;
+  defs : def list;
+  by_key : (string * string, def) Hashtbl.t;  (** (module, name) -> def *)
+}
+
+(** Peel the curried parameter spine off a binding's expression. Optional
+    arguments keep their label; [function]-style bodies contribute no
+    named parameter (the scrutinee is anonymous). *)
+let rec peel_params acc e =
+  match e.pexp_desc with
+  | Pexp_fun (lbl, _default, pat, body) ->
+      let label =
+        match lbl with Asttypes.Nolabel -> "" | Asttypes.Labelled l | Asttypes.Optional l -> l
+      in
+      peel_params ({ p_label = label; p_pat = pat } :: acc) body
+  | Pexp_newtype (_, body) | Pexp_constraint (body, _) when acc <> [] -> peel_params acc body
+  | _ -> (List.rev acc, e)
+
+let binding_name vb =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } -> txt
+    | Ppat_constraint (p, _) -> go p
+    | _ -> "_"
+  in
+  go vb.pvb_pat
+
+let build (units : unit_ list) : program =
+  let defs = ref [] in
+  let next = ref 0 in
+  let add u modname vb =
+    let params, body = peel_params [] vb.pvb_expr in
+    incr next;
+    defs :=
+      {
+        d_id = !next;
+        d_path = u.u_path;
+        d_module = modname;
+        d_name = binding_name vb;
+        d_params = params;
+        d_body = body;
+        d_loc = vb.pvb_loc;
+      }
+      :: !defs
+  in
+  let rec items u modname str =
+    List.iter
+      (fun item ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) -> List.iter (add u modname) vbs
+        | Pstr_module { pmb_name = { txt = Some inner; _ }; pmb_expr; _ } -> mod_expr u inner pmb_expr
+        | Pstr_recmodule mbs ->
+            List.iter
+              (fun mb ->
+                match mb.pmb_name.txt with Some inner -> mod_expr u inner mb.pmb_expr | None -> ())
+              mbs
+        | _ -> ())
+      str
+  and mod_expr u inner me =
+    match me.pmod_desc with
+    | Pmod_structure str -> items u inner str
+    | Pmod_constraint (me, _) -> mod_expr u inner me
+    | _ -> ()
+  in
+  List.iter (fun u -> items u u.u_module u.u_str) units;
+  let defs = List.rev !defs in
+  let by_key = Hashtbl.create 256 in
+  (* Later definitions shadow earlier ones of the same name, matching
+     OCaml's scoping for the common [let f ... let f ...] redefinition. *)
+  List.iter
+    (fun d -> if not (String.equal d.d_name "_") then Hashtbl.replace by_key (d.d_module, d.d_name) d)
+    defs;
+  { units; defs; by_key }
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let flatten lid =
+  let rec go acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply _ -> []
+  in
+  go [] lid
+
+(** Resolve a dotted path to a definition: qualified paths by their last
+    module component, bare names in the current module. *)
+let resolve (p : program) ~current_module (path : string list) : def option =
+  match List.rev path with
+  | [] -> None
+  | [ name ] -> Hashtbl.find_opt p.by_key (current_module, name)
+  | name :: m :: _ -> Hashtbl.find_opt p.by_key (m, name)
+
+(** Pair call-site arguments with the callee's parameter positions:
+    labeled arguments by label, unlabeled ones filling the unlabeled
+    parameters in order. Surplus arguments (partial knowledge of a
+    curried chain, or resolution noise) map to [-1]. *)
+let match_args (d : def) (args : (Asttypes.arg_label * expression) list) : (int * expression) list =
+  let params = Array.of_list d.d_params in
+  let taken = Array.make (Array.length params) false in
+  let next_unlabeled = ref 0 in
+  List.map
+    (fun (lbl, e) ->
+      match lbl with
+      | Asttypes.Labelled l | Asttypes.Optional l ->
+          let idx = ref (-1) in
+          Array.iteri
+            (fun i p -> if !idx < 0 && (not taken.(i)) && String.equal p.p_label l then idx := i)
+            params;
+          if !idx >= 0 then taken.(!idx) <- true;
+          (!idx, e)
+      | Asttypes.Nolabel ->
+          let rec find i =
+            if i >= Array.length params then (-1)
+            else if (not taken.(i)) && String.equal params.(i).p_label "" then i
+            else find (i + 1)
+          in
+          let idx = find !next_unlabeled in
+          if idx >= 0 then begin
+            taken.(idx) <- true;
+            next_unlabeled := idx + 1
+          end;
+          (idx, e))
+    args
+
+(** All variable names bound by a pattern (tuple/record/constructor
+    components included): the dataflow layers bind each to the taint of
+    the matched expression. *)
+let pattern_vars (pat : pattern) : string list =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } -> acc := txt :: !acc
+          | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it pat;
+  !acc
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)

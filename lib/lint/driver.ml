@@ -1,8 +1,70 @@
-(** File-system driver for the lint pass: walks source trees, runs
-    {!Engine.check_source} on every [.ml], and checks R5 (interface
-    presence) against the sibling [.mli] set. *)
+(** Driver for the lint pass.
 
-type report = { files_checked : int; violations : Engine.violation list }
+    Two layers:
+
+    - {!check_program} runs every rule over an in-memory set of
+      [(path, source)] units: the per-file syntactic rules (R1-R4) via
+      {!Engine.check_source}, then the interprocedural passes — the
+      units are parsed once into a {!Dataflow.program} and handed to
+      {!Taint} (R6) and {!Lockcheck} (R7). Tests feed fixture programs
+      through this entry point directly.
+    - {!scan} walks source trees on disk, adds R5 (interface presence,
+      which needs the sibling [.mli] set) and feeds the [.ml] contents to
+      {!check_program}.
+
+    Both return a {!report} carrying the violations plus the analysis
+    statistics (definition count, resolved call edges, the lock-order
+    graph) that the CLI exports as JSON/DOT artifacts. *)
+
+type stats = {
+  st_defs : int;  (** top-level definitions in the dataflow program *)
+  st_call_edges : int;  (** resolved call-graph edges (R6 traversal) *)
+  st_lock_edges : (string * string) list;  (** lock-order graph (R7) *)
+}
+
+type report = { files_checked : int; violations : Engine.violation list; stats : stats }
+
+let sort_violations (vs : Engine.violation list) =
+  List.stable_sort
+    (fun (a : Engine.violation) (b : Engine.violation) ->
+      match String.compare a.v_file b.v_file with
+      | 0 -> (
+          match Int.compare a.v_line b.v_line with
+          | 0 -> Int.compare a.v_col b.v_col
+          | c -> c)
+      | c -> c)
+    vs
+
+let check_program (units : (string * string) list) : report =
+  let parsed =
+    List.map
+      (fun (path, source) ->
+        match Dataflow.parse_unit ~path source with
+        | u -> (path, source, u)
+        | exception Syntaxerr.Error _ -> failwith (path ^ ": syntax error (does it compile?)")
+        | exception Lexer.Error (_, _) -> failwith (path ^ ": lexing error (does it compile?)"))
+      units
+  in
+  let per_file =
+    List.concat_map (fun (path, source, _) -> Engine.check_source ~path source) parsed
+  in
+  let prog = Dataflow.build (List.map (fun (_, _, u) -> u) parsed) in
+  let taint_vs, tstats = Taint.run prog in
+  let lock_vs, lstats = Lockcheck.run prog in
+  {
+    files_checked = List.length units;
+    violations = sort_violations (per_file @ taint_vs @ lock_vs);
+    stats =
+      {
+        st_defs = tstats.Taint.t_defs;
+        st_call_edges = tstats.Taint.t_edges;
+        st_lock_edges = lstats.Lockcheck.k_edges;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File-system walk                                                    *)
+(* ------------------------------------------------------------------ *)
 
 let read_file fname =
   let ic = open_in_bin fname in
@@ -33,19 +95,16 @@ let scan ~root dirs : report =
   let mls, mlis = List.fold_left (fun acc d -> collect ~root d acc) ([], []) dirs in
   let mls = List.sort String.compare mls in
   let has_mli ml = List.exists (String.equal (ml ^ "i")) mlis in
-  (* R5 applies to library modules; executables (bin/) have no interface *)
+  (* R5 applies to library modules; executables (bin/) and the benchmark
+     harness have no interface *)
   let wants_mli ml = String.length ml >= 4 && String.equal (String.sub ml 0 4) "lib/" in
-  let violations =
-    List.concat_map
+  let units = List.map (fun rel -> (rel, read_file (Filename.concat root rel))) mls in
+  let r = check_program units in
+  let r5 =
+    List.filter_map
       (fun rel ->
-        let source = read_file (Filename.concat root rel) in
-        let vs =
-          match Engine.check_source ~path:rel source with
-          | vs -> vs
-          | exception Syntaxerr.Error _ -> failwith (rel ^ ": syntax error (does it compile?)")
-          | exception Lexer.Error (_, _) -> failwith (rel ^ ": lexing error (does it compile?)")
-        in
-        if has_mli rel || not (wants_mli rel) then vs else vs @ [ Engine.missing_interface ~path:rel ])
+        if has_mli rel || not (wants_mli rel) then None
+        else Some (Engine.missing_interface ~path:rel))
       mls
   in
-  { files_checked = List.length mls; violations }
+  { r with violations = sort_violations (r.violations @ r5) }

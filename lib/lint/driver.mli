@@ -1,10 +1,24 @@
-(** File-system driver for the lint pass. *)
+(** Driver for the lint pass: runs the per-file syntactic rules and the
+    interprocedural analyses (R6 taint, R7 lock discipline) over a
+    program — either an in-memory unit list ({!check_program}, used by
+    the tests) or source trees on disk ({!scan}, which adds R5). *)
 
-type report = { files_checked : int; violations : Engine.violation list }
+type stats = {
+  st_defs : int;  (** top-level definitions in the dataflow program *)
+  st_call_edges : int;  (** resolved call-graph edges (R6 traversal) *)
+  st_lock_edges : (string * string) list;  (** lock-order graph (R7) *)
+}
+
+type report = { files_checked : int; violations : Engine.violation list; stats : stats }
+
+val check_program : (string * string) list -> report
+(** [check_program [(path, source); ...]] — all rules except R5 (which
+    needs the file system). Violations are sorted by position.
+    @raise Failure on unparsable input, naming the file. *)
 
 val scan : root:string -> string list -> report
-(** [scan ~root dirs] lints every [.ml] under each of [dirs] (paths
-    relative to [root]; hidden entries and [_build] are skipped) and
-    checks each for a sibling [.mli] (R5). Violations carry
-    repo-relative paths. @raise Failure on unreadable or unparsable
-    input, naming the file. *)
+(** [scan ~root dirs] walks [dirs] (paths relative to [root]; hidden
+    entries and [_build] are skipped), checks every [.ml] found with
+    {!check_program}, and adds R5 interface presence for [lib/] modules.
+    Violations carry repo-relative paths. @raise Failure on unreadable
+    or unparsable input, naming the file. *)

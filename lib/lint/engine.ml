@@ -25,15 +25,33 @@
       {!Driver}, which sees the file system; {!missing_interface} builds
       the violation).
 
-    The pass is purely syntactic: it sees the parsetree, not types, so
-    the rules err on the side of flagging and rely on [lint_allow.txt]
+    Two further rules are interprocedural and live in their own modules,
+    sharing this [rule]/[violation] vocabulary and the allowlist:
+
+    - R6 ({!Taint}): a secret-tainted value (key material, decrypted
+      payloads — {!Sources.taint_sources}) reaches an untrusted sink
+      (store/archival/wire/console writes) without passing a sanitizer
+      (seal/MAC/digest).
+    - R7 ({!Lockcheck}): lock-order cycles, re-locking a held mutex,
+      [Condition.wait] on the wrong mutex or with extra locks held, and
+      blocking I/O under a non-exempt mutex.
+
+    The passes are purely syntactic: they see the parsetree, not types,
+    so the rules err on the side of flagging and rely on [lint_allow.txt]
     (see {!Allowlist}) for the rare justified exception. *)
 
 open Parsetree
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
-let rule_id = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4" | R5 -> "R5"
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
 
 let rule_of_id = function
   | "R1" -> Some R1
@@ -41,12 +59,14 @@ let rule_of_id = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
+  | "R7" -> Some R7
   | _ -> None
 
 let rule_equal a b =
   match (a, b) with
-  | R1, R1 | R2, R2 | R3, R3 | R4, R4 | R5, R5 -> true
-  | (R1 | R2 | R3 | R4 | R5), _ -> false
+  | R1, R1 | R2, R2 | R3, R3 | R4, R4 | R5, R5 | R6, R6 | R7, R7 -> true
+  | (R1 | R2 | R3 | R4 | R5 | R6 | R7), _ -> false
 
 let rule_doc = function
   | R1 -> "polymorphic comparison/hash (timing-unsafe, version-unstable)"
@@ -54,6 +74,8 @@ let rule_doc = function
   | R3 -> "Obj/Marshal/Random are banned in trusted layers (randomness comes from Drbg)"
   | R4 -> "partial or unsafe function / catch-all exception handler"
   | R5 -> "module lacks an .mli interface"
+  | R6 -> "secret-tainted value reaches an untrusted sink unsanitized (seal/MAC/digest first)"
+  | R7 -> "lock discipline: ordering cycle, wrong-mutex wait, or blocking call under a mutex"
 
 type violation = {
   v_file : string;

@@ -16,12 +16,16 @@
     - R4 — partial/unsafe functions ([List.hd]/[tl]/[nth], [Option.get],
       [Bytes.unsafe_*], [String.unsafe_*], [Array.unsafe_*]) and
       catch-all [try ... with _ ->].
-    - R5 — every module under [lib/] must expose an [.mli]. *)
+    - R5 — every module under [lib/] must expose an [.mli].
 
-type rule = R1 | R2 | R3 | R4 | R5
+    R6 (secret taint, {!Taint}) and R7 (lock discipline, {!Lockcheck})
+    are interprocedural; they share this [rule]/[violation] vocabulary
+    and the allowlist but run from {!Driver} over the whole program. *)
+
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7
 
 val rule_id : rule -> string
-(** ["R1"] ... ["R5"]. *)
+(** ["R1"] ... ["R7"]. *)
 
 val rule_of_id : string -> rule option
 val rule_equal : rule -> rule -> bool

@@ -1,0 +1,352 @@
+(** R6 — interprocedural secret-taint analysis.
+
+    The paper's security argument is a dataflow claim: plaintext chunk
+    payloads and key material must never reach the untrusted store except
+    through the seal pipeline. This pass checks it over the whole scanned
+    program. Taint is seeded at the declared sources ({!Sources}: keys
+    derived from the platform secret, decrypted payloads), propagated
+    through let-bindings, tuples, function arguments and returns, and
+    copies, and reported when a tainted value reaches a declared sink
+    (untrusted-store/archival writes, raw log appends, wire encoders,
+    file/socket/console output) without passing through a declared
+    sanitizer (seal, MAC, digest).
+
+    The lattice, chosen to keep the pass useful rather than merely sound:
+
+    - a value is [clean], tainted outright ([direct]), or tainted iff one
+      of the enclosing function's parameters is (the [params] set) —
+      the last is what makes function summaries compose;
+    - tuple construction and destructuring propagate; record construction
+      does {e not} (a context like [Security.t] carries its keys opaquely
+      — taint re-emerges only when a {!Sources.sensitive_fields}
+      projection pulls the key back out);
+    - applications of unknown functions join their arguments' taint into
+      the result {e and} smear it into any bare mutable-carrier argument
+      ([Buffer.add_string b secret] taints [b], so [Buffer.contents b]
+      is tainted), which covers builder/copy idioms without modelling
+      mutation;
+    - per-definition summaries (return taint as a function of parameters,
+      parameters that reach a sink inside the callee) are iterated to a
+      fixpoint over the call graph, so a helper that forwards its
+      argument to a store write taints its call sites, however deep.
+
+    Known limits (documented in DESIGN.md): flows through record fields
+    other than the declared sensitive ones, through closures stored in
+    data structures, and through the pickle writer when the writer itself
+    escapes the current function are invisible. *)
+
+open Parsetree
+module ISet = Set.Make (Int)
+
+type taint = { direct : bool; params : ISet.t }
+
+let clean = { direct = false; params = ISet.empty }
+let tainted = { direct = true; params = ISet.empty }
+let is_clean t = (not t.direct) && ISet.is_empty t.params
+let join a b = { direct = a.direct || b.direct; params = ISet.union a.params b.params }
+let taint_equal a b = Bool.equal a.direct b.direct && ISet.equal a.params b.params
+
+type summary = { mutable s_ret : taint; mutable s_sinks : (int * string) list }
+
+type state = {
+  prog : Dataflow.program;
+  summaries : (int, summary) Hashtbl.t;
+  edge_set : (int * int, unit) Hashtbl.t;
+  mutable changed : bool;
+  mutable report : bool;
+  mutable violations : Engine.violation list;
+}
+
+type ctx = { cur : Dataflow.def; csum : summary }
+
+let summary_of st (d : Dataflow.def) : summary =
+  match Hashtbl.find_opt st.summaries d.d_id with
+  | Some s -> s
+  | None ->
+      let s = { s_ret = clean; s_sinks = [] } in
+      Hashtbl.replace st.summaries d.d_id s;
+      s
+
+let add_violation st ctx loc msg =
+  if st.report && Sources.taint_reported ctx.cur.d_path then begin
+    let line, col = Dataflow.pos_of loc in
+    st.violations <-
+      {
+        Engine.v_file = ctx.cur.d_path;
+        v_line = line;
+        v_col = col;
+        v_rule = Engine.R6;
+        v_msg = msg;
+      }
+      :: st.violations
+  end
+
+(* A tainted value arrives at a sink: parameter taint becomes a summary
+   obligation (the caller is judged), direct taint a violation here. *)
+let sink_hit st ctx loc ~(sink : string) t =
+  if not (is_clean t) then begin
+    ISet.iter
+      (fun i ->
+        if not (List.exists (fun (j, _) -> Int.equal i j) ctx.csum.s_sinks) then begin
+          ctx.csum.s_sinks <- (i, sink) :: ctx.csum.s_sinks;
+          st.changed <- true
+        end)
+      t.params;
+    if t.direct then
+      add_violation st ctx loc
+        (Printf.sprintf
+           "secret-tainted value reaches untrusted sink %s; seal/MAC/digest it first (R6 tables: \
+            lib/lint/sources.ml)"
+           sink)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Environment: lexical scope of local taints                          *)
+(* ------------------------------------------------------------------ *)
+
+type env = (string, taint ref) Hashtbl.t
+
+let bind (env : env) names t =
+  List.iter (fun n -> Hashtbl.add env n (ref t)) names;
+  fun () -> List.iter (fun n -> Hashtbl.remove env n) names
+
+let lookup (env : env) n = Hashtbl.find_opt env n
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let path_str p = String.concat "." p
+
+let rec eval st ctx (env : env) (e : expression) : taint =
+  match e.pexp_desc with
+  | Pexp_constant _ -> clean
+  | Pexp_ident { txt; _ } -> (
+      match Dataflow.flatten txt with
+      | [ x ] when Option.is_some (lookup env x) -> !(Option.value ~default:(ref clean) (lookup env x))
+      | path -> (
+          match Dataflow.resolve st.prog ~current_module:ctx.cur.d_module path with
+          | Some d when d.d_params = [] -> (summary_of st d).s_ret
+          | Some _ | None -> clean))
+  | Pexp_let (rf, vbs, body) ->
+      let pops =
+        match rf with
+        | Asttypes.Recursive ->
+            (* names visible (clean) while evaluating the right-hand sides *)
+            let pre =
+              List.map (fun vb -> bind env (Dataflow.pattern_vars vb.pvb_pat) clean) vbs
+            in
+            let ts = List.map (fun vb -> eval st ctx env vb.pvb_expr) vbs in
+            List.iter (fun pop -> pop ()) pre;
+            List.map2 (fun vb t -> bind env (Dataflow.pattern_vars vb.pvb_pat) t) vbs ts
+        | Asttypes.Nonrecursive ->
+            List.map
+              (fun vb ->
+                let t = eval st ctx env vb.pvb_expr in
+                bind env (Dataflow.pattern_vars vb.pvb_pat) t)
+              vbs
+      in
+      let t = eval st ctx env body in
+      List.iter (fun pop -> pop ()) pops;
+      t
+  | Pexp_fun (_, default, pat, body) ->
+      (match default with Some d -> ignore (eval st ctx env d) | None -> ());
+      let pop = bind env (Dataflow.pattern_vars pat) clean in
+      ignore (eval st ctx env body);
+      pop ();
+      clean
+  | Pexp_function cases ->
+      eval_cases st ctx env clean cases
+  | Pexp_apply (f, args) -> eval_apply st ctx env e f args
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      let t = eval st ctx env scrut in
+      eval_cases st ctx env t cases
+  | Pexp_tuple es | Pexp_array es ->
+      List.fold_left (fun acc x -> join acc (eval st ctx env x)) clean es
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> (
+      match arg with Some a -> eval st ctx env a | None -> clean)
+  | Pexp_record (fields, base) ->
+      (match base with Some b -> ignore (eval st ctx env b) | None -> ());
+      List.iter (fun (_, fe) -> ignore (eval st ctx env fe)) fields;
+      clean (* contexts carry keys opaquely; see the header *)
+  | Pexp_field (b, { txt; _ }) -> (
+      ignore (eval st ctx env b);
+      match List.rev (Dataflow.flatten txt) with
+      | fname :: _ when Sources.is_sensitive_field fname -> tainted
+      | _ -> clean)
+  | Pexp_setfield (b, _, v) ->
+      ignore (eval st ctx env b);
+      ignore (eval st ctx env v);
+      clean
+  | Pexp_ifthenelse (c, e1, e2) ->
+      ignore (eval st ctx env c);
+      let t1 = eval st ctx env e1 in
+      let t2 = match e2 with Some x -> eval st ctx env x | None -> clean in
+      join t1 t2
+  | Pexp_sequence (e1, e2) ->
+      ignore (eval st ctx env e1);
+      eval st ctx env e2
+  | Pexp_while (c, b) ->
+      ignore (eval st ctx env c);
+      (* twice: smearing into carriers converges after a second look *)
+      ignore (eval st ctx env b);
+      ignore (eval st ctx env b);
+      clean
+  | Pexp_for ({ ppat_desc = Ppat_var { txt; _ }; _ }, lo, hi, _, b) ->
+      ignore (eval st ctx env lo);
+      ignore (eval st ctx env hi);
+      let pop = bind env [ txt ] clean in
+      ignore (eval st ctx env b);
+      ignore (eval st ctx env b);
+      pop ();
+      clean
+  | Pexp_for (_, lo, hi, _, b) ->
+      ignore (eval st ctx env lo);
+      ignore (eval st ctx env hi);
+      ignore (eval st ctx env b);
+      clean
+  | Pexp_constraint (x, _) | Pexp_coerce (x, _, _) | Pexp_lazy x | Pexp_open (_, x) -> eval st ctx env x
+  | Pexp_assert x ->
+      ignore (eval st ctx env x);
+      clean
+  | Pexp_letmodule (_, _, x) | Pexp_letexception (_, x) | Pexp_newtype (_, x) -> eval st ctx env x
+  | _ -> clean
+
+and eval_cases st ctx env scrut_taint cases =
+  List.fold_left
+    (fun acc c ->
+      let pop = bind env (Dataflow.pattern_vars c.pc_lhs) scrut_taint in
+      (match c.pc_guard with Some g -> ignore (eval st ctx env g) | None -> ());
+      let t = eval st ctx env c.pc_rhs in
+      pop ();
+      join acc t)
+    clean cases
+
+and eval_apply st ctx env _app f args =
+  let arg_taints = List.map (fun (_, a) -> eval st ctx env a) args in
+  let joined = List.fold_left join clean arg_taints in
+  (* Taint smeared into bare mutable-carrier arguments of unknown calls:
+     [P.string w secret] taints [w]. *)
+  let smear () =
+    if not (is_clean joined) then
+      List.iter
+        (fun (_, (a : expression)) ->
+          match a.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident x; _ } -> (
+              match lookup env x with Some r -> r := join !r joined | None -> ())
+          | _ -> ())
+        args
+  in
+  match f.pexp_desc with
+  | Pexp_ident { txt; loc } -> (
+      let path = Dataflow.flatten txt in
+      if Sources.is_sanitizer path then clean
+      else if Sources.is_source path then tainted
+      else begin
+        (match Sources.sink_of path with
+        | Some k ->
+            List.iter2
+              (fun (_, (a : expression)) t ->
+                ignore a;
+                sink_hit st ctx loc
+                  ~sink:(Printf.sprintf "%s (%s)" (path_str path) k.Sources.k_why)
+                  t)
+              args arg_taints
+        | None -> ());
+        match Dataflow.resolve st.prog ~current_module:ctx.cur.d_module path with
+        | Some d ->
+            Hashtbl.replace st.edge_set (ctx.cur.d_id, d.d_id) ();
+            let s = summary_of st d in
+            let pairs = Dataflow.match_args d args in
+            (* arguments feeding a parameter that reaches a sink inside
+               the callee are themselves judged at this call site *)
+            List.iter
+              (fun (i, sink) ->
+                List.iter2
+                  (fun (j, _) t ->
+                    if Int.equal i j then
+                      sink_hit st ctx loc ~sink:(Printf.sprintf "%s.%s -> %s" d.d_module d.d_name sink) t)
+                  pairs arg_taints)
+              s.s_sinks;
+            (* return taint: the callee's, with parameter taint replaced
+               by the matching arguments' taint *)
+            let r = if s.s_ret.direct then tainted else clean in
+            let r =
+              ISet.fold
+                (fun i acc ->
+                  List.fold_left2
+                    (fun acc (j, _) t -> if Int.equal i j then join acc t else acc)
+                    acc pairs arg_taints)
+                s.s_ret.params r
+            in
+            (* surplus arguments applied to the callee's result (curried
+               closures we do not model) propagate conservatively *)
+            let surplus =
+              List.fold_left2
+                (fun acc (j, _) t -> if j < 0 then join acc t else acc)
+                clean pairs arg_taints
+            in
+            join r surplus
+        | None ->
+            smear ();
+            joined
+      end)
+  | _ ->
+      let ft = eval st ctx env f in
+      smear ();
+      join ft joined
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_def st (d : Dataflow.def) =
+  let s = summary_of st d in
+  let env : env = Hashtbl.create 16 in
+  List.iteri
+    (fun i (p : Dataflow.param) ->
+      List.iter
+        (fun n -> Hashtbl.add env n (ref { direct = false; params = ISet.singleton i }))
+        (Dataflow.pattern_vars p.p_pat))
+    d.d_params;
+  let ctx = { cur = d; csum = s } in
+  let ret = eval st ctx env d.d_body in
+  let ret' = join s.s_ret ret in
+  if not (taint_equal ret' s.s_ret) then begin
+    s.s_ret <- ret';
+    st.changed <- true
+  end
+
+type stats = { t_defs : int; t_edges : int }
+
+let run (prog : Dataflow.program) : Engine.violation list * stats =
+  let st =
+    {
+      prog;
+      summaries = Hashtbl.create 256;
+      edge_set = Hashtbl.create 1024;
+      changed = false;
+      report = false;
+      violations = [];
+    }
+  in
+  let rec fix n =
+    st.changed <- false;
+    List.iter (analyze_def st) prog.defs;
+    if st.changed && n < 20 then fix (n + 1)
+  in
+  fix 0;
+  st.report <- true;
+  List.iter (analyze_def st) prog.defs;
+  let cmp (a : Engine.violation) (b : Engine.violation) =
+    match String.compare a.v_file b.v_file with
+    | 0 -> (
+        match Int.compare a.v_line b.v_line with
+        | 0 -> ( match Int.compare a.v_col b.v_col with 0 -> String.compare a.v_msg b.v_msg | c -> c)
+        | c -> c)
+    | c -> c
+  in
+  let violations =
+    List.sort_uniq cmp st.violations
+  in
+  (violations, { t_defs = List.length prog.defs; t_edges = Hashtbl.length st.edge_set })

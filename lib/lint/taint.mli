@@ -1,0 +1,8 @@
+(** R6 — interprocedural secret-taint analysis (see the .ml header for
+    the lattice and its documented limits). Taint propagates through
+    every definition in the program; violations are reported only for
+    files under {!Sources.taint_report_dirs}. *)
+
+type stats = { t_defs : int;  (** top-level definitions analyzed *) t_edges : int;  (** resolved call edges *) }
+
+val run : Dataflow.program -> Engine.violation list * stats

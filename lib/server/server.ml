@@ -58,6 +58,7 @@ type exposure =
       e_indexers : 'a Indexer.generic list;
       e_mutations : (string, 'a -> P.reader -> unit) Hashtbl.t;
       mutable e_handle : 'a Cstore.collection option;
+      mutable e_opening : bool;  (** an opener is at work outside [mu] *)
     }
       -> exposure
 
@@ -71,6 +72,7 @@ type t = {
   sock_path : string option;  (** unlinked on close *)
   mu : Mutex.t;  (** guards the mutable server state below *)
   drained : Condition.t;  (** signalled when a session ends *)
+  opened : Condition.t;  (** signalled when a collection open settles *)
   live : (int, Unix.file_descr) Hashtbl.t;
   mutable next_session : int;
   mutable sessions_total : int;
@@ -116,6 +118,7 @@ let create ?(config = default_config) (os : Object_store.t) (addr : addr) : t =
     sock_path;
     mu = Mutex.create ();
     drained = Condition.create ();
+    opened = Condition.create ();
     live = Hashtbl.create 16;
     next_session = 0;
     sessions_total = 0;
@@ -142,7 +145,14 @@ let expose_collection (t : t) ~name ~(schema : 'a Obj_class.t)
   expose_class t schema;
   Hashtbl.replace t.colls name
     (Exposure
-       { e_name = name; e_schema = schema; e_indexers = indexers; e_mutations = tbl; e_handle = None })
+       {
+         e_name = name;
+         e_schema = schema;
+         e_indexers = indexers;
+         e_mutations = tbl;
+         e_handle = None;
+         e_opening = false;
+       })
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                    *)
@@ -173,33 +183,57 @@ let lookup_coll (t : t) (name : string) : exposure =
   | Some e -> e
 
 (* Open (or create, on first exposure against a fresh database) the
-   collection behind [e], caching the handle. The handle cache is guarded
-   by [t.mu]: collection handles are store-level, so the first session to
-   touch the exposure opens it for everyone. *)
+   collection behind [e], caching the handle: collection handles are
+   store-level, so the first session to touch the exposure opens it for
+   everyone.
+
+   The open itself runs *outside* [t.mu]: opening takes object-store
+   locks and can park in [Lock_manager.acquire] behind another session's
+   transaction, and that session may in turn need [t.mu] for its own
+   handle lookup — holding the server mutex across the open is a
+   server-wide stall and a two-thread deadlock (flagged by lint R7).
+   [t.mu] only guards the cache state machine: an [e_opening] flag
+   elects one opener, late arrivals wait on [t.opened], and the winner
+   publishes the handle (or its failure) under the mutex. *)
 let coll_handle (t : t) (ct : Cstore.t) (e : exposure) : exposure =
   let (Exposure ex) = e in
+  let claimed = ref false in
   Mutex.lock t.mu;
-  (match ex.e_handle with
-  | Some _ -> Mutex.unlock t.mu
-  | None -> (
-      match
-        if Cstore.collection_exists ct ~name:ex.e_name then
-          Cstore.open_collection ~indexers:ex.e_indexers ct ~name:ex.e_name ~schema:ex.e_schema
-        else begin
-          match ex.e_indexers with
-          | [] -> reject "not_exposed" "collection %S has no indexers" ex.e_name
-          | Indexer.Generic first :: rest ->
-              let coll = Cstore.create_collection ct ~name:ex.e_name ~schema:ex.e_schema first in
-              List.iter (fun (Indexer.Generic ix) -> Cstore.create_index ct coll ix) rest;
-              coll
-        end
-      with
-      | coll ->
-          ex.e_handle <- Some coll;
-          Mutex.unlock t.mu
-      | exception err ->
-          Mutex.unlock t.mu;
-          raise err));
+  while Option.is_none ex.e_handle && not !claimed do
+    if ex.e_opening then Condition.wait t.opened t.mu
+    else begin
+      ex.e_opening <- true;
+      claimed := true
+    end
+  done;
+  Mutex.unlock t.mu;
+  if !claimed then begin
+    (* Publish the result (or, on failure, the vacancy — a waiter then
+       re-elects and retries) and wake everyone parked above. *)
+    let settle handle =
+      Mutex.lock t.mu;
+      ex.e_opening <- false;
+      ex.e_handle <- handle;
+      Condition.broadcast t.opened;
+      Mutex.unlock t.mu
+    in
+    match
+      if Cstore.collection_exists ct ~name:ex.e_name then
+        Cstore.open_collection ~indexers:ex.e_indexers ct ~name:ex.e_name ~schema:ex.e_schema
+      else begin
+        match ex.e_indexers with
+        | [] -> reject "not_exposed" "collection %S has no indexers" ex.e_name
+        | Indexer.Generic first :: rest ->
+            let coll = Cstore.create_collection ct ~name:ex.e_name ~schema:ex.e_schema first in
+            List.iter (fun (Indexer.Generic ix) -> Cstore.create_index ct coll ix) rest;
+            coll
+      end
+    with
+    | coll -> settle (Some coll)
+    | exception err ->
+        settle None;
+        raise err
+  end;
   e
 
 let find_indexer (type a) (indexers : a Indexer.generic list) (coll_name : string) (name : string) :

@@ -148,14 +148,224 @@ let test_allowlist () =
     (match Allowlist.load file with exception Failure _ -> true | _ -> false)
 
 (* ------------------------------------------------------------------ *)
+(* R6: interprocedural secret taint (via Driver.check_program)         *)
+(* ------------------------------------------------------------------ *)
+
+let prog_violations units =
+  (Driver.check_program units).Driver.violations
+
+let prog_fires name rule units =
+  Alcotest.(check bool) (name ^ ": " ^ rule ^ " fires") true
+    (List.exists
+       (fun v -> String.equal (Engine.rule_id v.Engine.v_rule) rule)
+       (prog_violations units))
+
+let prog_silent name rule units =
+  let hits =
+    List.filter
+      (fun v -> String.equal (Engine.rule_id v.Engine.v_rule) rule)
+      (prog_violations units)
+  in
+  Alcotest.(check string) (name ^ ": " ^ rule ^ " silent") ""
+    (String.concat "; "
+       (List.map (fun v -> Printf.sprintf "%s:%d %s" v.Engine.v_file v.Engine.v_line v.Engine.v_msg) hits))
+
+let chunk_fix = "lib/chunk/fixture.ml"
+
+let test_r6 () =
+  (* A derived key shipped to the untrusted store, verbatim. *)
+  prog_fires "key to store write" "R6"
+    [ (chunk_fix, "let leak st = Untrusted_store.write st 0 (Secret_store.derive ())") ];
+  (* The seal pipeline sanitizes: unseal -> seal -> write is the design. *)
+  prog_silent "seal sanitizes" "R6"
+    [
+      ( chunk_fix,
+        "let roundtrip st sec buf =\n\
+        \  let pt = Security.unseal sec buf in\n\
+        \  let sealed = Security.seal sec pt in\n\
+        \  Untrusted_store.write st 0 sealed" );
+    ];
+  (* ... but writing the plaintext itself is a violation. *)
+  prog_fires "unseal to store write" "R6"
+    [
+      ( chunk_fix,
+        "let bad st sec buf =\n\
+        \  let pt = Security.unseal sec buf in\n\
+        \  Untrusted_store.write st 0 pt" );
+    ];
+  (* Taint survives a tuple and two helper hops: the projection helper
+     returns its tainted component, the stash helper forwards its
+     argument to the sink, and the violation lands at the call site. *)
+  prog_fires "taint through tuple + helpers" "R6"
+    [
+      ( chunk_fix,
+        "let second (_, b) = b\n\
+         let stash st x = Untrusted_store.write st 0 x\n\
+         let bad st sec buf =\n\
+        \  let pair = (1, Security.unseal sec buf) in\n\
+        \  stash st (second pair)" );
+    ];
+  (* Same shape, clean payload: no violation. *)
+  prog_silent "clean value through helpers" "R6"
+    [
+      ( chunk_fix,
+        "let second (_, b) = b\n\
+         let stash st x = Untrusted_store.write st 0 x\n\
+         let ok st buf =\n\
+        \  let pair = (1, buf) in\n\
+        \  stash st (second pair)" );
+    ];
+  (* MACs and digests are one-way: safe to ship. *)
+  prog_silent "digest sanitizes" "R6"
+    [
+      ( chunk_fix,
+        "let ok st sec buf =\n\
+        \  let pt = Security.unseal sec buf in\n\
+        \  Untrusted_store.write st 0 (Sha256.digest pt)" );
+    ];
+  (* Interprocedural across files: the helper lives in another module. *)
+  prog_fires "cross-module taint" "R6"
+    [
+      ("lib/chunk/helper.ml", "let stash st x = Untrusted_store.write st 0 x");
+      ( chunk_fix,
+        "let bad st sec buf = Helper.stash st (Security.unseal sec buf)" );
+    ];
+  (* Outside the report dirs the same flow is not an error (lib/platform
+     implements the boundary). *)
+  prog_silent "platform is below the line" "R6"
+    [
+      ( "lib/platform/fixture.ml",
+        "let leak st = Untrusted_store.write st 0 (Secret_store.derive ())" );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* R7: lock discipline (via Driver.check_program)                      *)
+(* ------------------------------------------------------------------ *)
+
+let server_fix = "lib/server/fixture.ml"
+
+let test_r7 () =
+  let prelude =
+    "let mu = Mutex.create ()\nlet mu2 = Mutex.create ()\nlet cond = Condition.create ()\n"
+  in
+  (* Balanced lock/unlock, and waiting on the mutex actually held: fine. *)
+  prog_silent "balanced + correct wait" "R7"
+    [
+      ( server_fix,
+        prelude
+        ^ "let ok () = Mutex.lock mu; Mutex.unlock mu\n\
+           let ok2 () = Mutex.lock mu; Condition.wait cond mu; Mutex.unlock mu" );
+    ];
+  (* Condition.wait on a mutex other than the one held. *)
+  prog_fires "wait on wrong mutex" "R7"
+    [
+      ( server_fix,
+        prelude ^ "let bad () = Mutex.lock mu; Condition.wait cond mu2; Mutex.unlock mu" );
+    ];
+  (* Blocking store I/O while holding a non-exempt mutex. *)
+  prog_fires "blocking sync under mutex" "R7"
+    [
+      ( server_fix,
+        prelude ^ "let bad st = Mutex.lock mu; Untrusted_store.sync st; Mutex.unlock mu" );
+    ];
+  (* The same I/O under a documented io-lock (Object_store.mu — the
+     canonical name comes from the defining file) is the design, not a
+     violation. *)
+  prog_silent "io-exempt lock" "R7"
+    [
+      ( "lib/objstore/object_store.ml",
+        "let sync_under_mu (t : t) st = Mutex.lock t.mu; Untrusted_store.sync st; Mutex.unlock t.mu" );
+    ];
+  (* Re-locking a mutex already held. *)
+  prog_fires "self deadlock" "R7"
+    [ (server_fix, prelude ^ "let bad () = Mutex.lock mu; Mutex.lock mu; Mutex.unlock mu") ];
+  (* A wrapper in the with_mu style: the thunk's body runs under the
+     wrapper's lock, so blocking inside the lambda is caught. *)
+  prog_fires "blocking inside wrapped thunk" "R7"
+    [
+      ( server_fix,
+        prelude
+        ^ "let with_mu f = Mutex.lock mu; Fun.protect ~finally:(fun () -> Mutex.unlock mu) f\n\
+           let bad () = with_mu (fun () -> Thread.delay 0.1)" );
+    ];
+  (* A cross-module lock-order cycle, visible only through summaries:
+     Alpha locks its mutex then calls Beta (which locks Beta's), and
+     vice versa. *)
+  let alpha =
+    "let mu = Mutex.create ()\n\
+     let touch () = Mutex.lock mu; Mutex.unlock mu\n\
+     let ab () = Mutex.lock mu; Beta.poke (); Mutex.unlock mu"
+  in
+  let beta =
+    "let mu = Mutex.create ()\n\
+     let poke () = Mutex.lock mu; Mutex.unlock mu\n\
+     let ba () = Mutex.lock mu; Alpha.touch (); Mutex.unlock mu"
+  in
+  let vs =
+    prog_violations [ ("lib/server/alpha.ml", alpha); ("lib/server/beta.ml", beta) ]
+  in
+  Alcotest.(check bool) "lock-order cycle detected" true
+    (List.exists
+       (fun v ->
+         Engine.rule_equal v.Engine.v_rule Engine.R7
+         && String.length v.Engine.v_msg >= 16
+         && String.equal (String.sub v.Engine.v_msg 0 16) "lock-order cycle")
+       vs);
+  (* Consistent ordering (both paths lock Alpha before Beta): no cycle. *)
+  let beta_ok =
+    "let mu = Mutex.create ()\nlet poke () = Mutex.lock mu; Mutex.unlock mu"
+  in
+  prog_silent "consistent order" "R7"
+    [ ("lib/server/alpha.ml", alpha); ("lib/server/beta.ml", beta_ok) ]
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist refresh                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_refresh () =
+  let file = Filename.temp_file "tdb_allow" ".txt" in
+  write_file file
+    "# Header comment survives verbatim.\n\n\
+     lib/a.ml:3:R1  # grandfathered comparison\n\
+     lib/b.ml:9:R4\n";
+  let v l rule = { Engine.v_file = "lib/a.ml"; v_line = l; v_col = 0; v_rule = rule; v_msg = "m" } in
+  (* The R1 site drifted from line 3 to line 7; the R4 entry's violation
+     is gone entirely. *)
+  let { Allowlist.r_lines; r_updated; r_unmatched } =
+    Allowlist.refresh file [ v 7 Engine.R1 ]
+  in
+  Alcotest.(check int) "one entry re-pointed" 1 r_updated;
+  Alcotest.(check int) "one entry unmatched" 1 (List.length r_unmatched);
+  (match r_unmatched with
+  | [ e ] -> Alcotest.(check string) "the dead grant is the R4 one" "lib/b.ml" e.Allowlist.a_file
+  | _ -> Alcotest.fail "expected exactly one unmatched entry");
+  Alcotest.(check (list string)) "file regenerated, comments preserved"
+    [
+      "# Header comment survives verbatim.";
+      "";
+      "lib/a.ml:7:R1  # grandfathered comparison";
+      "lib/b.ml:9:R4";
+    ]
+    r_lines;
+  (* An exact match outranks a nearer violation of the same rule: entry
+     at line 3 stays put even with a drifted candidate at line 4. *)
+  write_file file "lib/a.ml:3:R1  # exact\n";
+  let { Allowlist.r_lines; r_updated; _ } =
+    Allowlist.refresh file [ v 4 Engine.R1; v 3 Engine.R1 ]
+  in
+  Alcotest.(check int) "exact match not re-pointed" 0 r_updated;
+  Alcotest.(check (list string)) "line untouched" [ "lib/a.ml:3:R1  # exact" ] r_lines
+
+(* ------------------------------------------------------------------ *)
 (* The real tree lints clean                                           *)
 (* ------------------------------------------------------------------ *)
 
 let test_real_tree_clean () =
   (* `dune runtest` runs from test/, `dune exec` from the project root. *)
   let root = if Sys.file_exists "lib" && Sys.is_directory "lib" then "." else ".." in
-  let report = Driver.scan ~root [ "lib" ] in
+  let report = Driver.scan ~root [ "lib"; "bin"; "bench" ] in
   Alcotest.(check bool) "scanned a real tree" true (report.Driver.files_checked > 30);
+  Alcotest.(check bool) "built a real call graph" true (report.Driver.stats.Driver.st_call_edges > 200);
   let entries = Allowlist.load (Filename.concat root "lint_allow.txt") in
   let kept, stale = Allowlist.filter entries report.Driver.violations in
   let show vs =
@@ -175,11 +385,14 @@ let () =
           Alcotest.test_case "R2 constant-time comparison" `Quick test_r2;
           Alcotest.test_case "R3 banned modules" `Quick test_r3;
           Alcotest.test_case "R4 partial functions" `Quick test_r4;
+          Alcotest.test_case "R6 secret taint" `Quick test_r6;
+          Alcotest.test_case "R7 lock discipline" `Quick test_r7;
         ] );
       ( "driver",
         [
           Alcotest.test_case "R5 via scan" `Quick test_r5_scan;
           Alcotest.test_case "allowlist" `Quick test_allowlist;
+          Alcotest.test_case "allowlist refresh" `Quick test_refresh;
           Alcotest.test_case "real tree clean" `Quick test_real_tree_clean;
         ] );
     ]
