@@ -11,17 +11,28 @@
 # dominated by the simulated disk model, so the two scales agree to
 # within a few percent, well inside the tolerance. A baseline that
 # predates the store_writes_per_txn field skips that check.
+#
+# Micro files ("bench": "micro", rows keyed by "name" with "ns_per_op")
+# are guarded too: each ns_per_op may rise at most TOLERANCE (default
+# 0.50 for micro — wall-clock micro numbers are noisy across hosts)
+# above the baseline. The micro rows include the seal/unseal
+# domain-count axis (…/d1 vs …/d4), so pool-overhead regressions on the
+# batched commit and read paths trip the same guard.
+#
+# Label files that carry the domain sweep (tdbs/d1 … tdbs/d8) get one
+# extra cross-width check: tdbs/d4 ops_per_s must stay within TOLERANCE
+# of tdbs/d1 in the SAME fresh run, so widening the pool may never cost
+# more than the tolerance even on a single-core host.
 set -eu
 
 baseline=${1:?usage: perf_guard.sh BASELINE.json FRESH.json [TOLERANCE]}
 fresh=${2:?usage: perf_guard.sh BASELINE.json FRESH.json [TOLERANCE]}
-tol=${3:-0.15}
 
 # Flatten a bench JSON so each system object is one line, then print the
-# line for the given label.
+# line for the given label (key is "label" or, for micro files, "name").
 sys_line() {
-    tr '\n' ' ' < "$1" | sed 's/{ *"label"/\
-{ "label"/g' | grep -F "\"label\": \"$2\"" | head -n 1
+    tr '\n' ' ' < "$1" | sed "s/{ *\"$3\"/\\
+{ \"$3\"/g" | grep -F "\"$3\": \"$2\"" | head -n 1
 }
 
 # Extract a numeric field from a flattened system line (empty if absent).
@@ -29,17 +40,45 @@ field() {
     printf '%s\n' "$1" | sed -n "s/.*\"$2\": \([0-9][0-9.eE+-]*\).*/\1/p"
 }
 
+if grep -q '"bench": "micro"' "$fresh"; then
+    tol=${3:-0.50}
+    status=0
+    names=$(tr '\n' ' ' < "$fresh" | sed 's/{ *"name"/\
+{ "name"/g' | sed -n 's/.*"name": "\([^"]*\)".*/\1/p')
+    for name in $names; do
+        base_line=$(sys_line "$baseline" "$name" name) || true
+        if [ -z "$base_line" ]; then
+            echo "perf_guard: $name: not in baseline, skipping"
+            continue
+        fi
+        fresh_line=$(sys_line "$fresh" "$name" name)
+        b_ns=$(field "$base_line" ns_per_op)
+        f_ns=$(field "$fresh_line" ns_per_op)
+        [ -n "$b_ns" ] && [ -n "$f_ns" ] || continue
+        if awk -v f="$f_ns" -v b="$b_ns" -v t="$tol" \
+               'BEGIN { exit !(f > (1 + t) * b) }'; then
+            echo "perf_guard: FAIL $name: ns_per_op $f_ns > $(awk -v b="$b_ns" -v t="$tol" 'BEGIN { printf "%.0f", (1+t)*b }') (baseline $b_ns, tolerance $tol)"
+            status=1
+        else
+            echo "perf_guard: ok   $name: ns_per_op $f_ns (baseline $b_ns)"
+        fi
+    done
+    exit $status
+fi
+
+tol=${3:-0.15}
+
 labels=$(tr '\n' ' ' < "$fresh" | sed 's/{ *"label"/\
 { "label"/g' | sed -n 's/.*"label": "\([^"]*\)".*/\1/p')
 
 status=0
 for label in $labels; do
-    base_line=$(sys_line "$baseline" "$label") || true
+    base_line=$(sys_line "$baseline" "$label" label) || true
     if [ -z "$base_line" ]; then
         echo "perf_guard: $label: not in baseline, skipping"
         continue
     fi
-    fresh_line=$(sys_line "$fresh" "$label")
+    fresh_line=$(sys_line "$fresh" "$label" label)
 
     b_ops=$(field "$base_line" ops_per_s)
     f_ops=$(field "$fresh_line" ops_per_s)
@@ -69,5 +108,23 @@ for label in $labels; do
         fi
     fi
 done
+
+# Domain-count axis: within the fresh run, widening the seal/unseal
+# pipeline from 1 to 4 domains may not cost more than the tolerance.
+d1_line=$(sys_line "$fresh" "tdbs/d1" label) || true
+d4_line=$(sys_line "$fresh" "tdbs/d4" label) || true
+if [ -n "$d1_line" ] && [ -n "$d4_line" ]; then
+    d1_ops=$(field "$d1_line" ops_per_s)
+    d4_ops=$(field "$d4_line" ops_per_s)
+    if [ -n "$d1_ops" ] && [ -n "$d4_ops" ]; then
+        if awk -v f="$d4_ops" -v b="$d1_ops" -v t="$tol" \
+               'BEGIN { exit !(f < (1 - t) * b) }'; then
+            echo "perf_guard: FAIL domains axis: tdbs/d4 ops_per_s $d4_ops < $(awk -v b="$d1_ops" -v t="$tol" 'BEGIN { printf "%.1f", (1-t)*b }') (tdbs/d1 $d1_ops, tolerance $tol)"
+            status=1
+        else
+            echo "perf_guard: ok   domains axis: tdbs/d4 ops_per_s $d4_ops vs tdbs/d1 $d1_ops"
+        fi
+    fi
+fi
 
 exit $status

@@ -55,6 +55,9 @@ let status_cmd =
       (Tdb.Chunk_store.cache_resident cs) ch cm
       (if ch + cm > 0 then Printf.sprintf " (%.0f%% hit)" (100. *. float_of_int ch /. float_of_int (ch + cm)) else "")
       st.Tdb.Chunk_store.cache_evictions;
+    Printf.printf "parallelism:  %d domains, %d pool batches (%d tasks), %.1f ms waited\n"
+      (Tdb.Chunk_store.domains cs) st.Tdb.Chunk_store.par_batches st.Tdb.Chunk_store.par_tasks
+      (float_of_int st.Tdb.Chunk_store.par_wait_ns /. 1e6);
     Tdb.close db
   in
   Cmd.v (Cmd.info "status" ~doc:"Open a database (running recovery + tamper checks) and print its state.")
@@ -188,7 +191,10 @@ let remote_status_cmd =
         let ch = s.Tdb.Proto.s_cache_hits and cm = s.Tdb.Proto.s_cache_misses in
         Printf.printf "chunk cache:     %d hits / %d misses%s, %d evictions\n" ch cm
           (if ch + cm > 0 then Printf.sprintf " (%.0f%% hit)" (100. *. float_of_int ch /. float_of_int (ch + cm)) else "")
-          s.Tdb.Proto.s_cache_evictions)
+          s.Tdb.Proto.s_cache_evictions;
+        Printf.printf "parallelism:     %d domains, %d pool batches (%d tasks), %.1f ms waited\n"
+          s.Tdb.Proto.s_domains s.Tdb.Proto.s_par_batches s.Tdb.Proto.s_par_tasks
+          (float_of_int s.Tdb.Proto.s_par_wait_us /. 1e3))
   in
   Cmd.v
     (Cmd.info "remote-status" ~doc:"Print a running server's session, commit and group-commit counters.")

@@ -12,7 +12,16 @@
 
     Trust note: the cache stores only plaintext that already passed the
     Merkle-path check, inside the trusted boundary; it never caches
-    ciphertext or unvalidated bytes. *)
+    ciphertext or unvalidated bytes.
+
+    Ownership: the cache is {e single-writer by design} — hit/miss
+    counters and the LRU links mutate on every [find], with no internal
+    synchronization. All access belongs to the domain that created the
+    cache (the chunk store's coordinator, under the object store's state
+    mutex); pool workers return payloads and the coordinator inserts
+    them. [owner_check] pins that discipline: every mutating entry point
+    asserts it runs on the creating domain, so a worker that reaches in
+    dies loudly instead of corrupting the links. *)
 
 type entry = {
   cid : int;
@@ -23,6 +32,7 @@ type entry = {
 }
 
 type t = {
+  owner : int; (* creating domain; see "Ownership" above *)
   table : (int, entry) Hashtbl.t;
   mutable mru : entry option;
   mutable lru : entry option;
@@ -39,8 +49,11 @@ let entry_overhead = 64
 
 let entry_size e = String.length e.data + entry_overhead
 
+let owner_check t = assert (Int.equal ((Domain.self () :> int)) t.owner)
+
 let create ~(budget : int) : t =
   {
+    owner = (Domain.self () :> int);
     table = Hashtbl.create 256;
     mru = None;
     lru = None;
@@ -82,6 +95,7 @@ let evict_until_within t =
   done
 
 let find t (cid : int) ~(version : int) : string option =
+  owner_check t;
   match Hashtbl.find_opt t.table cid with
   | Some e when Int.equal e.version version ->
       t.hits <- t.hits + 1;
@@ -97,6 +111,7 @@ let find t (cid : int) ~(version : int) : string option =
       None
 
 let put t (cid : int) ~(version : int) (data : string) : unit =
+  owner_check t;
   if t.budget <= 0 then ()
   else begin
     (match Hashtbl.find_opt t.table cid with
@@ -115,9 +130,11 @@ let put t (cid : int) ~(version : int) (data : string) : unit =
   end
 
 let remove t (cid : int) : unit =
+  owner_check t;
   match Hashtbl.find_opt t.table cid with None -> () | Some e -> drop t e
 
 let clear t : unit =
+  owner_check t;
   Hashtbl.reset t.table;
   t.mru <- None;
   t.lru <- None;
@@ -129,5 +146,6 @@ let total_size t = t.total_size
 let budget t = t.budget
 
 let set_budget t b =
+  owner_check t;
   t.budget <- b;
   evict_until_within t

@@ -7,14 +7,21 @@
     by chunk id and guarded by the committed version number — a lookup
     only hits when the cached version matches the one the location map
     currently holds, so stale data can never be served and cleaning
-    relocation (which preserves versions) invalidates nothing. *)
+    relocation (which preserves versions) invalidates nothing.
+
+    The cache is single-writer: it belongs to the domain that created it,
+    and every mutating operation asserts it runs there. Pool workers must
+    hand payloads back to the coordinator for insertion — see DESIGN.md,
+    "Parallelism model". *)
 
 type t
 
 val create : budget:int -> t
 (** An empty cache holding at most [budget] bytes of plaintext (plus a
     small per-entry overhead). A budget of 0 disables caching: [put]
-    becomes a no-op and every [find] misses. *)
+    becomes a no-op and every [find] misses. The calling domain becomes
+    the cache's owner; [find]/[put]/[remove]/[clear]/[set_budget] from
+    any other domain fail the ownership assertion. *)
 
 val find : t -> int -> version:int -> string option
 (** [find t cid ~version] returns the cached payload iff an entry for

@@ -36,6 +36,14 @@ type t = {
   chunk_cache_bytes : int;
       (** budget for the verified-chunk read cache (decrypted plaintext
           held inside the trusted boundary); 0 disables it *)
+  domains : int;
+      (** width of the seal/unseal pipeline: how many OCaml domains
+          (including the caller) may work on one commit's seals or one
+          batched read's unseals. 1 = exact sequential behavior, never
+          touching the domain pool. Defaults to the available cores
+          ([TDB_DOMAINS] overrides; see {!Tdb_parallel.Pool}). Any width
+          produces byte-identical store images — parallelism never
+          reorders appends or IV draws. *)
 }
 
 let default =
@@ -53,6 +61,7 @@ let default =
     map_depth = 4;
     clean_batch = 8;
     chunk_cache_bytes = 1024 * 1024;
+    domains = Tdb_parallel.Pool.default_domains ();
   }
 
 (** Largest chunk payload storable with this configuration (one record must
@@ -69,4 +78,5 @@ let validate (c : t) =
   if c.checkpoint_every < 1 then invalid_arg "Config: checkpoint_every < 1";
   if c.checkpoint_residual_bytes < 4 * c.segment_size then
     invalid_arg "Config: checkpoint_residual_bytes must cover a few segments";
-  if c.chunk_cache_bytes < 0 then invalid_arg "Config: chunk_cache_bytes negative"
+  if c.chunk_cache_bytes < 0 then invalid_arg "Config: chunk_cache_bytes negative";
+  if c.domains < 1 || c.domains > 128 then invalid_arg "Config: domains out of [1, 128]"

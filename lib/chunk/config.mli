@@ -41,6 +41,13 @@ type t = {
           decrypted, hash-verified payloads held inside the trusted
           boundary so repeated reads skip the fetch/verify/decrypt path;
           0 disables it *)
+  domains : int;
+      (** width of the seal/unseal pipeline: how many OCaml domains
+          (including the caller) may work on one commit's seals or one
+          batched read's unseals. 1 = exact sequential behavior (the
+          domain pool is never touched). Defaults to the available cores,
+          overridable via [TDB_DOMAINS]. Store images are byte-identical
+          at every width. *)
 }
 
 val default : t

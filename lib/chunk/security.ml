@@ -50,13 +50,26 @@ let create (config : Config.t) (secret : Tdb_platform.Secret_store.t) : t =
     iv_gen = Drbg.create ~seed:(Tdb_platform.Secret_store.derive secret "iv-seed");
   }
 
+(** Draw the IV for one {!seal_iv}. Advances the DRBG: this is the {e only}
+    effectful step of sealing, so the coordinator pre-draws IVs in
+    deterministic operation order and hands the pure remainder to pool
+    workers. [None] when security is off. *)
+let draw_iv (t : t) : string option =
+  match t.cipher with None -> None | Some c -> Some (Drbg.generate t.iv_gen (Cbc.block_size c))
+
+(** Pure seal under a pre-drawn IV: no mutable state is touched, so this
+    is safe to fan out across domains. [iv] must come from {!draw_iv} on
+    the same context (in particular it must be [None] iff security is
+    off). *)
+let seal_iv (t : t) ~(iv : string option) (plain : string) : string =
+  match (t.cipher, iv) with
+  | None, None -> plain
+  | Some c, Some iv -> Cbc.encrypt c ~iv plain
+  | None, Some _ -> invalid_arg "Security.seal_iv: IV with security off"
+  | Some _, None -> invalid_arg "Security.seal_iv: missing IV"
+
 (** Encrypt a payload for storage (identity when security is off). *)
-let seal (t : t) (plain : string) : string =
-  match t.cipher with
-  | None -> plain
-  | Some c ->
-      let iv = Drbg.generate t.iv_gen (Cbc.block_size c) in
-      Cbc.encrypt c ~iv plain
+let seal (t : t) (plain : string) : string = seal_iv t ~iv:(draw_iv t) plain
 
 (** Decrypt a stored payload.
     @raise Types.Tamper_detected when padding is malformed. *)

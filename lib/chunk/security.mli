@@ -19,10 +19,22 @@ type t = {
 val create : Config.t -> Tdb_platform.Secret_store.t -> t
 
 val seal : t -> string -> string
-(** Encrypt for storage (identity when security is off). *)
+(** Encrypt for storage (identity when security is off). Equivalent to
+    [seal_iv ~iv:(draw_iv t)]. *)
+
+val draw_iv : t -> string option
+(** Draw the IV for one {!seal_iv} — the only effectful step of sealing.
+    Coordinator-only: IV draws must happen in deterministic operation
+    order. [None] iff security is off. *)
+
+val seal_iv : t -> iv:string option -> string -> string
+(** Pure seal under a pre-drawn IV; safe to run on any domain.
+    @raise Invalid_argument if the IV's presence contradicts the
+    security mode. *)
 
 val unseal : t -> string -> string
-(** @raise Types.Tamper_detected on malformed padding. *)
+(** Pure ({!t} is immutable); safe to run on any domain.
+    @raise Types.Tamper_detected on malformed padding. *)
 
 val label : t -> string -> string
 (** Digest of stored bytes — the Merkle label ("" when disabled). *)

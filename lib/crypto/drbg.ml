@@ -4,30 +4,50 @@
     [state_{i+1} = H(0x01 || state_i)] and produces output blocks
     [H(0x02 || state_i || counter)]. Deterministic seeding keeps tests and
     benchmarks reproducible; production embedders reseed from the platform
-    secret store plus device entropy. *)
+    secret store plus device entropy.
 
-type t = { mutable state : string; mutable reqs : int }
+    Thread safety: the mutable [(state, reqs)] pair is guarded by a
+    per-instance mutex. Without it, two domains can read the same state
+    and emit {e identical} output — fatal for IV generation (the old code
+    was safe only because [threads.posix] serialized everything under the
+    runtime lock). The critical section covers just the state advance;
+    output blocks are computed from the reserved snapshot outside the
+    lock, so concurrent callers each derive from a distinct request
+    number and single-threaded output is byte-for-byte unchanged. *)
 
-let create ~(seed : string) : t = { state = Sha256.digest ("tdb-drbg-seed" ^ seed); reqs = 0 }
+type t = { mu : Mutex.t; mutable state : string; mutable reqs : int }
+
+let create ~(seed : string) : t =
+  { mu = Mutex.create (); state = Sha256.digest ("tdb-drbg-seed" ^ seed); reqs = 0 }
+
+(* Reserve the current (state, reqs) for one request and advance. *)
+let reserve (t : t) : string * int =
+  Mutex.lock t.mu;
+  let state = t.state and reqs = t.reqs in
+  t.reqs <- t.reqs + 1;
+  t.state <- Sha256.digest ("\x01" ^ state);
+  Mutex.unlock t.mu;
+  (state, reqs)
 
 let generate (t : t) (n : int) : string =
   if n < 0 then invalid_arg "Drbg.generate";
+  let state, reqs = reserve t in
   let buf = Buffer.create n in
   let ctr = ref 0 in
   while Buffer.length buf < n do
-    let block = Sha256.digest (Printf.sprintf "\x02%s%d.%d" t.state t.reqs !ctr) in
+    let block = Sha256.digest (Printf.sprintf "\x02%s%d.%d" state reqs !ctr) in
     Buffer.add_string buf block;
     incr ctr
   done;
-  t.reqs <- t.reqs + 1;
-  t.state <- Sha256.digest ("\x01" ^ t.state);
   Buffer.sub buf 0 n
 
 (** Derive an independent generator, e.g. one per chunk-store instance. *)
 let split (t : t) (label : string) : t =
-  let d = create ~seed:(t.state ^ "/" ^ label) in
-  t.state <- Sha256.digest ("\x01" ^ t.state);
-  d
+  Mutex.lock t.mu;
+  let state = t.state in
+  t.state <- Sha256.digest ("\x01" ^ state);
+  Mutex.unlock t.mu;
+  create ~seed:(state ^ "/" ^ label)
 
 (** 63-bit non-negative integer in [0, bound). *)
 let int (t : t) (bound : int) : int =

@@ -1,6 +1,13 @@
 (** Deterministic random bit generator built on SHA-256 (hash-DRBG style).
     Deterministic seeding keeps tests and benchmarks reproducible;
-    production embedders reseed from the secret store plus device entropy. *)
+    production embedders reseed from the secret store plus device entropy.
+
+    Thread-safe: state advance is a short critical section under an
+    internal mutex (block expansion happens outside it), so concurrent
+    callers each get a distinct, never-overlapping slice of the stream.
+    The {e sequence} of values then depends on scheduling — order-
+    sensitive users (IV assignment in the seal pipeline) must draw from a
+    single coordinator domain, which lint rule R7 checks statically. *)
 
 type t
 

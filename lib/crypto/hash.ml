@@ -15,6 +15,16 @@ module type S = sig
   val copy : ctx -> ctx
   (** Independent clone of the running state (HMAC key-context reuse). *)
 
+  type midstate
+  (** Frozen running state: an immutable value, safe to share across
+      domains (a [ctx] is mutable and single-owner). *)
+
+  val save : ctx -> midstate
+  (** Freeze the current state; the context stays usable. *)
+
+  val resume : midstate -> ctx
+  (** A fresh private context continuing from the frozen state. *)
+
   val feed : ctx -> ?off:int -> ?len:int -> string -> unit
   val feed_bytes : ctx -> ?off:int -> ?len:int -> bytes -> unit
 

@@ -18,9 +18,14 @@ let pads (module H : Hash.S) ~(key : string) : string * string =
   in
   (pad 0x36, pad 0x5c)
 
-(** A prepared key: the inner context primed with [key xor ipad] and the
-    outer context primed with [key xor opad]. *)
-type key = Key : (module Hash.S with type ctx = 'c) * 'c * 'c -> key
+(** A prepared key: frozen {e midstates} of the inner context primed with
+    [key xor ipad] and the outer context primed with [key xor opad].
+    Midstates are immutable, so one prepared key can serve any number of
+    domains concurrently; each {!mac} resumes them into fresh private
+    contexts. (The previous representation held live mutable contexts
+    cloned via [Hash.S.copy] — a data race the moment two domains shared
+    the key, safe only under the runtime lock.) *)
+type key = Key : (module Hash.S with type midstate = 'm) * 'm * 'm -> key
 
 let precompute (module H : Hash.S) ~(key : string) : key =
   let ipad, opad = pads (module H) ~key in
@@ -28,12 +33,12 @@ let precompute (module H : Hash.S) ~(key : string) : key =
   H.feed inner ipad;
   let outer = H.init () in
   H.feed outer opad;
-  Key ((module H), inner, outer)
+  Key ((module H), H.save inner, H.save outer)
 
 let mac (Key ((module H), inner0, outer0) : key) (data : string) : string =
-  let inner = H.copy inner0 in
+  let inner = H.resume inner0 in
   H.feed inner data;
-  let outer = H.copy outer0 in
+  let outer = H.resume outer0 in
   H.feed outer (H.get inner);
   H.get outer
 

@@ -10,8 +10,11 @@ val sha256 : key:string -> string -> string
 
     The anchor/commit-chain MACs reuse one key for the lifetime of the
     store; preparing it once hashes the ipad/opad blocks ahead of time, so
-    each {!mac} clones the primed contexts instead of recompressing the
-    key pads — two block compressions saved per MAC. *)
+    each {!mac} resumes the primed state instead of recompressing the key
+    pads — two block compressions saved per MAC. A [key] holds only
+    immutable {!Hash.S.midstate}s, so one precomputed key may be used
+    from any number of domains concurrently; each {!mac} works on fresh
+    private contexts. *)
 
 type key
 

@@ -149,3 +149,40 @@ let digest s =
   finalize c
 
 let digest_bytes b = digest (Bytes.unsafe_to_string b)
+
+(* Frozen running state: chaining words + length + pending partial block,
+   all immutable — safe to share across domains, unlike a [ctx]. *)
+type midstate = { ms_h : string; ms_total : int; ms_buf : string }
+
+let save (c : ctx) : midstate =
+  let b = Bytes.create digest_size in
+  let put i h =
+    Bytes.set b (4 * i) (Char.chr ((h lsr 24) land 0xff));
+    Bytes.set b ((4 * i) + 1) (Char.chr ((h lsr 16) land 0xff));
+    Bytes.set b ((4 * i) + 2) (Char.chr ((h lsr 8) land 0xff));
+    Bytes.set b ((4 * i) + 3) (Char.chr (h land 0xff))
+  in
+  put 0 c.h0;
+  put 1 c.h1;
+  put 2 c.h2;
+  put 3 c.h3;
+  put 4 c.h4;
+  { ms_h = Bytes.to_string b; ms_total = c.total; ms_buf = Bytes.sub_string c.buf 0 c.buf_len }
+
+let resume (m : midstate) : ctx =
+  let word i =
+    (Char.code m.ms_h.[4 * i] lsl 24)
+    lor (Char.code m.ms_h.[(4 * i) + 1] lsl 16)
+    lor (Char.code m.ms_h.[(4 * i) + 2] lsl 8)
+    lor Char.code m.ms_h.[(4 * i) + 3]
+  in
+  let c = init () in
+  c.h0 <- word 0;
+  c.h1 <- word 1;
+  c.h2 <- word 2;
+  c.h3 <- word 3;
+  c.h4 <- word 4;
+  c.total <- m.ms_total;
+  Bytes.blit_string m.ms_buf 0 c.buf 0 (String.length m.ms_buf);
+  c.buf_len <- String.length m.ms_buf;
+  c

@@ -151,3 +151,32 @@ let digest s =
   finalize c
 
 let digest_bytes b = digest (Bytes.unsafe_to_string b)
+
+(* Frozen running state: chaining words + length + pending partial block,
+   all immutable — safe to share across domains, unlike a [ctx]. *)
+type midstate = { ms_h : string; ms_total : int; ms_buf : string }
+
+let save (c : ctx) : midstate =
+  let b = Bytes.create digest_size in
+  for i = 0 to 7 do
+    let h = c.h.(i) in
+    Bytes.set b (4 * i) (Char.chr ((h lsr 24) land 0xff));
+    Bytes.set b ((4 * i) + 1) (Char.chr ((h lsr 16) land 0xff));
+    Bytes.set b ((4 * i) + 2) (Char.chr ((h lsr 8) land 0xff));
+    Bytes.set b ((4 * i) + 3) (Char.chr (h land 0xff))
+  done;
+  { ms_h = Bytes.to_string b; ms_total = c.total; ms_buf = Bytes.sub_string c.buf 0 c.buf_len }
+
+let resume (m : midstate) : ctx =
+  let c = init () in
+  for i = 0 to 7 do
+    c.h.(i) <-
+      (Char.code m.ms_h.[4 * i] lsl 24)
+      lor (Char.code m.ms_h.[(4 * i) + 1] lsl 16)
+      lor (Char.code m.ms_h.[(4 * i) + 2] lsl 8)
+      lor Char.code m.ms_h.[(4 * i) + 3]
+  done;
+  c.total <- m.ms_total;
+  Bytes.blit_string m.ms_buf 0 c.buf 0 (String.length m.ms_buf);
+  c.buf_len <- String.length m.ms_buf;
+  c

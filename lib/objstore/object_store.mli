@@ -51,6 +51,14 @@ val set_chunk_cache_budget : t -> int -> unit
 (** Resize the underlying chunk store's verified-chunk cache at runtime
     (0 disables it); evicts immediately if over the new budget. *)
 
+val preload : t -> oid list -> int
+(** Warm the cache for a batch of objects in one parallel sweep: chunk
+    reads for the objects not already cached go through
+    {!Tdb_chunk.Chunk_store.read_many}, which verifies and decrypts
+    misses on the domain pool. Takes no transactional locks; returns the
+    number of objects actually fetched.
+    @raise Unknown_object if any requested object does not exist. *)
+
 val held_count : t -> int
 (** Objects currently holding at least one transactional lock — 0 when no
     transaction is active (observable lock hygiene, e.g. after a network

@@ -1,0 +1,178 @@
+(** Process-wide worker-domain pool. See the interface for the contract.
+
+    One mutex [mu] guards everything: task publication, completion counts
+    and coordinator turn-taking. Item distribution inside a batch is
+    lock-free ([Atomic.fetch_and_add] on the next-index counter), so the
+    mutex is touched O(domains) times per batch, not O(items).
+
+    Determinism: a worker writes only [results.(i)] for the indices it
+    claimed; the coordinator publishes the batch and collects the results
+    under [mu], whose acquire/release edges order those writes before the
+    reads. The result array is then folded in index order, so both values
+    and the choice of which exception propagates are independent of the
+    worker interleaving. *)
+
+type task = {
+  t_id : int;
+  t_n : int;
+  t_claims : int Atomic.t;  (** worker participation slots ([width - 1]) *)
+  t_width : int;
+  t_next : int Atomic.t;  (** next unclaimed item index *)
+  t_run : int -> unit;  (** run one item; never raises *)
+  mutable t_completed : int;  (** items finished; guarded by [mu] *)
+}
+
+type t = {
+  mu : Mutex.t;
+  work : Condition.t;  (** workers: a new task was published *)
+  idle : Condition.t;  (** coordinators: batch completed / pool free *)
+  mutable current : task option;  (** [Some _] while a batch is in flight *)
+  mutable next_id : int;
+  mutable nworkers : int;
+  mutable st_tasks : int;
+  mutable st_batches : int;
+  mutable st_wait_ns : int;
+}
+
+(* OCaml caps the process at ~128 domains; 8 covers the paper-scale
+   embedder and leaves plenty of headroom for the rest of the process. *)
+let max_total_domains = 8
+
+let default_domains () =
+  match Sys.getenv_opt "TDB_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n max_total_domains
+      | Some _ | None -> invalid_arg "TDB_DOMAINS must be a positive integer")
+  | None -> min max_total_domains (max 1 (Domain.recommended_domain_count ()))
+
+let make () =
+  {
+    mu = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    current = None;
+    next_id = 0;
+    nworkers = 0;
+    st_tasks = 0;
+    st_batches = 0;
+    st_wait_ns = 0;
+  }
+
+let pool = lazy (make ())
+
+(* Claim a participation slot, then pull item indices until the batch
+   runs dry. Returns how many items this domain executed. *)
+let participate (tk : task) : int =
+  let mine = ref 0 in
+  if Atomic.fetch_and_add tk.t_claims 1 < tk.t_width then begin
+    let more = ref true in
+    while !more do
+      let i = Atomic.fetch_and_add tk.t_next 1 in
+      if i < tk.t_n then begin
+        tk.t_run i;
+        incr mine
+      end
+      else more := false
+    done
+  end;
+  !mine
+
+(* Workers never exit: the pool lives for the process, and [exit]
+   terminates parked domains with it. [last] is the id of the task this
+   worker already served, so re-observing it parks instead of re-running. *)
+let rec worker_loop (p : t) ~(last : int) : unit =
+  Mutex.lock p.mu;
+  let tk =
+    let rec await () =
+      match p.current with
+      | Some tk when not (Int.equal tk.t_id last) -> tk
+      | Some _ | None ->
+          Condition.wait p.work p.mu;
+          await ()
+    in
+    await ()
+  in
+  Mutex.unlock p.mu;
+  let mine = participate tk in
+  if mine > 0 then begin
+    Mutex.lock p.mu;
+    tk.t_completed <- tk.t_completed + mine;
+    if tk.t_completed >= tk.t_n then Condition.broadcast p.idle;
+    Mutex.unlock p.mu
+  end;
+  worker_loop p ~last:tk.t_id
+
+(* Grow the pool to [n] workers; called under [mu]. A freshly spawned
+   worker blocks on [mu] until the coordinator releases it. *)
+let ensure_workers (p : t) (n : int) : unit =
+  let n = min n (max_total_domains - 1) in
+  while p.nworkers < n do
+    p.nworkers <- p.nworkers + 1;
+    ignore (Domain.spawn (fun () -> worker_loop p ~last:0))
+  done
+
+let map ~(domains : int) (arr : 'a array) (f : 'a -> 'b) : 'b array =
+  let n = Array.length arr in
+  if domains <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let p = Lazy.force pool in
+    let results : ('b, exn) result option array = Array.make n None in
+    let run i = results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e) in
+    Mutex.lock p.mu;
+    while p.current <> None do
+      Condition.wait p.idle p.mu
+    done;
+    ensure_workers p (domains - 1);
+    p.next_id <- p.next_id + 1;
+    let tk =
+      {
+        t_id = p.next_id;
+        t_n = n;
+        t_claims = Atomic.make 0;
+        t_width = min (domains - 1) p.nworkers;
+        t_next = Atomic.make 0;
+        t_run = run;
+        t_completed = 0;
+      }
+    in
+    p.current <- Some tk;
+    p.st_batches <- p.st_batches + 1;
+    p.st_tasks <- p.st_tasks + n;
+    Condition.broadcast p.work;
+    Mutex.unlock p.mu;
+    let mine = participate tk in
+    Mutex.lock p.mu;
+    tk.t_completed <- tk.t_completed + mine;
+    if tk.t_completed < tk.t_n then begin
+      let t0 = Unix.gettimeofday () in
+      while tk.t_completed < tk.t_n do
+        Condition.wait p.idle p.mu
+      done;
+      p.st_wait_ns <- p.st_wait_ns + int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+    end;
+    p.current <- None;
+    (* wake any coordinator parked waiting for its turn *)
+    Condition.broadcast p.idle;
+    Mutex.unlock p.mu;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* completed batch: every slot settled *))
+      results
+  end
+
+type stats = { p_workers : int; p_tasks : int; p_batches : int; p_wait_ns : int }
+
+let stats () : stats =
+  if not (Lazy.is_val pool) then { p_workers = 0; p_tasks = 0; p_batches = 0; p_wait_ns = 0 }
+  else begin
+    let p = Lazy.force pool in
+    Mutex.lock p.mu;
+    let s =
+      { p_workers = p.nworkers; p_tasks = p.st_tasks; p_batches = p.st_batches; p_wait_ns = p.st_wait_ns }
+    in
+    Mutex.unlock p.mu;
+    s
+  end

@@ -1,0 +1,40 @@
+(** A fixed, process-wide pool of worker domains for the seal/unseal
+    pipeline (see DESIGN.md, "Parallelism model").
+
+    The pool is a lazily-created singleton: OCaml caps a process at ~128
+    domains, and short-lived embedders (the crash fuzzer opens thousands
+    of stores) cannot afford per-store domains. Workers are spawned on
+    first demand and live for the rest of the process; an idle pool costs
+    nothing but parked threads.
+
+    {!map} is deterministic by construction: results land in an array by
+    input index, and a failing item re-raises the {e lowest-index}
+    exception once every item has settled, so the caller observes the
+    same outcome regardless of how items interleave across domains —
+    [map ~domains:1] and [map ~domains:4] are observationally identical.
+
+    Worker closures must be pure with respect to coordinator-owned state:
+    they receive immutable inputs and return values; every insertion into
+    shared structures (caches, maps, the log) is the coordinator's job. *)
+
+val default_domains : unit -> int
+(** Domain budget for {!Config.t}: the [TDB_DOMAINS] environment variable
+    when set, else [Domain.recommended_domain_count ()], clamped to
+    [1, 8]. *)
+
+val map : domains:int -> 'a array -> ('a -> 'b) -> 'b array
+(** [map ~domains arr f] computes [Array.map f arr] using up to [domains]
+    domains (the caller participates; [domains - 1] pool workers join).
+    [domains <= 1] or a batch of fewer than two items runs inline without
+    touching the pool. If any [f arr.(i)] raises, the exception from the
+    smallest such [i] is re-raised after all items settle. *)
+
+type stats = {
+  p_workers : int;  (** worker domains spawned so far *)
+  p_tasks : int;  (** items executed through the pool *)
+  p_batches : int;  (** {!map} calls that used the pool *)
+  p_wait_ns : int;  (** coordinator time parked waiting for workers *)
+}
+
+val stats : unit -> stats
+(** Process-wide counters (zeros when the pool was never used). *)

@@ -17,7 +17,7 @@ exception Proto_error of string
 (** Malformed frame, unknown opcode, version mismatch, or oversized
     payload. *)
 
-let version = 2
+let version = 3
 let magic = "TDB\001"
 
 let default_max_frame = 4 * 1024 * 1024
@@ -62,6 +62,10 @@ type stats = {
   s_cache_hits : int;  (** verified-chunk cache hits (reads served decrypted) *)
   s_cache_misses : int;  (** cache misses (full fetch + decrypt + verify) *)
   s_cache_evictions : int;  (** entries evicted under budget pressure *)
+  s_domains : int;  (** seal/unseal pipeline width the store runs at *)
+  s_par_batches : int;  (** batches fanned out over the domain pool *)
+  s_par_tasks : int;  (** items executed through the pool *)
+  s_par_wait_us : int;  (** coordinator µs parked waiting on pool workers *)
 }
 
 type response =
@@ -238,7 +242,11 @@ let encode_response (resp : response) : string =
       P.uint w s.s_gc_coalesced;
       P.uint w s.s_cache_hits;
       P.uint w s.s_cache_misses;
-      P.uint w s.s_cache_evictions
+      P.uint w s.s_cache_evictions;
+      P.uint w s.s_domains;
+      P.uint w s.s_par_batches;
+      P.uint w s.s_par_tasks;
+      P.uint w s.s_par_wait_us
   | Error_ { tag; msg } ->
       P.byte w 9;
       P.string w tag;
@@ -270,6 +278,10 @@ let decode_response (payload : string) : response =
         let s_cache_hits = P.read_uint r in
         let s_cache_misses = P.read_uint r in
         let s_cache_evictions = P.read_uint r in
+        let s_domains = P.read_uint r in
+        let s_par_batches = P.read_uint r in
+        let s_par_tasks = P.read_uint r in
+        let s_par_wait_us = P.read_uint r in
         Ok_stats
           {
             s_sessions;
@@ -284,6 +296,10 @@ let decode_response (payload : string) : response =
             s_cache_hits;
             s_cache_misses;
             s_cache_evictions;
+            s_domains;
+            s_par_batches;
+            s_par_tasks;
+            s_par_wait_us;
           }
     | 9 ->
         let tag = P.read_string r in

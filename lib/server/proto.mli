@@ -52,6 +52,10 @@ type stats = {
   s_cache_hits : int;  (** verified-chunk cache hits (reads served decrypted) *)
   s_cache_misses : int;  (** cache misses (full fetch + decrypt + verify) *)
   s_cache_evictions : int;  (** entries evicted under budget pressure *)
+  s_domains : int;  (** seal/unseal pipeline width the store runs at *)
+  s_par_batches : int;  (** batches fanned out over the domain pool *)
+  s_par_tasks : int;  (** items executed through the pool *)
+  s_par_wait_us : int;  (** coordinator µs parked waiting on pool workers *)
 }
 
 type response =

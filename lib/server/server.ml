@@ -431,6 +431,10 @@ let handle_request (t : t) (s : session) (req : Proto.request) : Proto.response 
           s_cache_hits = st.Tdb_chunk.Chunk_store.cache_hits;
           s_cache_misses = st.Tdb_chunk.Chunk_store.cache_misses;
           s_cache_evictions = st.Tdb_chunk.Chunk_store.cache_evictions;
+          s_domains = Tdb_chunk.Chunk_store.domains cs;
+          s_par_batches = st.Tdb_chunk.Chunk_store.par_batches;
+          s_par_tasks = st.Tdb_chunk.Chunk_store.par_tasks;
+          s_par_wait_us = st.Tdb_chunk.Chunk_store.par_wait_ns / 1000;
         }
   | Proto.Bye -> Proto.Ok_unit
 

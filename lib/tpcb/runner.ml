@@ -83,9 +83,10 @@ let drive ?idle_every ?(idle : (unit -> unit) option) (scale : Workload.scale) ~
   let alloc_per_txn = !alloc /. float_of_int (Sys.word_size / 8) /. float_of_int measured in
   (total, cpu, io, bytes_per_txn, writes_per_txn, alloc_per_txn)
 
-let run_tdb ?(security = true) ?(max_utilization = 0.6) ?model ?idle_every (scale : Workload.scale) :
+let run_tdb ?(security = true) ?(max_utilization = 0.6) ?model ?idle_every ?domains
+    (scale : Workload.scale) :
     result =
-  let t = Tdb_driver.setup ~security ~max_utilization ?model scale in
+  let t = Tdb_driver.setup ~security ~max_utilization ?model ?domains scale in
   let total, cpu, io, bytes_per_txn, writes_per_txn, alloc_words_per_txn =
     drive ?idle_every ~idle:(fun () -> Tdb_driver.idle_clean t) scale ~seed:"tpcb-run"
       ~txn:(fun input -> ignore (Tdb_driver.txn t input))

@@ -28,9 +28,11 @@ val mean : float array -> float
 
 val run_tdb :
   ?security:bool -> ?max_utilization:float -> ?model:Sim_disk.model -> ?idle_every:int ->
-  Workload.scale -> result
+  ?domains:int -> Workload.scale -> result
 (** [idle_every] injects idle-period maintenance (uncharged cleaning) every
-    N transactions — the paper's DRM workload shape. *)
+    N transactions — the paper's DRM workload shape. [domains] sets the
+    seal/unseal pipeline width (default:
+    {!Tdb_parallel.Pool.default_domains}). *)
 
 val run_bdb : ?model:Sim_disk.model -> Workload.scale -> result
 

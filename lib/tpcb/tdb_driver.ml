@@ -37,7 +37,7 @@ let populate_records ct coll n =
 (** Build and populate a TPC-B database in an in-memory untrusted store
     whose I/O is charged to [clock] (see {!Sim_disk}). *)
 let setup ?(security = true) ?(max_utilization = 0.6) ?(model = Sim_disk.paper_platform)
-    (scale : Workload.scale) : t =
+    ?(domains = Tdb_parallel.Pool.default_domains ()) (scale : Workload.scale) : t =
   let clock = Sim_disk.clock () in
   let _, raw_store = Untrusted_store.open_mem () in
   let store = Sim_disk.wrap_store model clock raw_store in
@@ -63,7 +63,7 @@ let setup ?(security = true) ?(max_utilization = 0.6) ?(model = Sim_disk.paper_p
          second level under LRU inclusion would duplicate the first and
          capture nothing; total memory stays at BDB parity. *)
       chunk_cache_bytes = scale.Workload.cache_bytes * 3 / 4;
-      cipher = Config.Triple_xtea; hash = Config.Sha1 }
+      cipher = Config.Triple_xtea; hash = Config.Sha1; domains }
   in
   let cs = Chunk_store.create ~config ~secret ~counter store in
   let os =

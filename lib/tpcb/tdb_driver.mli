@@ -17,9 +17,11 @@ type t = {
 }
 
 val setup :
-  ?security:bool -> ?max_utilization:float -> ?model:Sim_disk.model -> Workload.scale -> t
+  ?security:bool -> ?max_utilization:float -> ?model:Sim_disk.model -> ?domains:int ->
+  Workload.scale -> t
 (** Build and bulk-load a TPC-B database on an in-memory store whose I/O
-    charges the simulated clock. *)
+    charges the simulated clock. [domains] sets the seal/unseal pipeline
+    width (default: {!Tdb_parallel.Pool.default_domains}). *)
 
 val txn : t -> Workload.txn_input -> int
 (** One TPC-B transaction (durable commit); returns the account balance. *)

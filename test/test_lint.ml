@@ -318,6 +318,43 @@ let test_r7 () =
   prog_silent "consistent order" "R7"
     [ ("lib/server/alpha.ml", alpha); ("lib/server/beta.ml", beta_ok) ]
 
+(* R7, domain rules: spawned bodies, coordinator-only effects, spinning. *)
+let test_r7_domains () =
+  let prelude = "let mu = Mutex.create ()\n" in
+  (* Pure work on a spawned domain: fine. *)
+  prog_silent "pure domain body" "R7"
+    [ (chunk_fix, "let ok buf = Domain.spawn (fun () -> Sha256.digest buf)") ];
+  (* A DRBG draw inside a spawned body destroys IV-draw ordering. *)
+  prog_fires "drbg draw in domain body" "R7"
+    [ (chunk_fix, "let bad g = Domain.spawn (fun () -> Drbg.generate g 16)") ];
+  (* Same misuse, hidden behind a helper: the l_draws summary carries it. *)
+  prog_fires "transitive seal in domain body" "R7"
+    [
+      ( chunk_fix,
+        "let seal_one sec x = Security.seal sec x\n\
+         let bad sec x = Domain.spawn (fun () -> seal_one sec x)" );
+    ];
+  (* The coordinator itself may draw freely. *)
+  prog_silent "draw on the coordinator" "R7"
+    [ (chunk_fix, "let ok g = Drbg.generate g 16") ];
+  (* Domain.join is a blocking call: not allowed under a choreography
+     mutex. *)
+  prog_fires "domain join under mutex" "R7"
+    [
+      ( chunk_fix,
+        prelude ^ "let bad d = Mutex.lock mu; let r = Domain.join d in Mutex.unlock mu; r" );
+    ];
+  (* Spinning on an Atomic while holding a mutex burns the hold time. *)
+  prog_fires "atomic spin under mutex" "R7"
+    [
+      ( chunk_fix,
+        prelude
+        ^ "let bad flag = Mutex.lock mu; while Atomic.get flag do () done; Mutex.unlock mu" );
+    ];
+  (* The same spin without a lock held is ordinary lock-free waiting. *)
+  prog_silent "atomic spin unlocked" "R7"
+    [ (chunk_fix, "let ok flag = while Atomic.get flag do () done") ]
+
 (* ------------------------------------------------------------------ *)
 (* Allowlist refresh                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -387,6 +424,7 @@ let () =
           Alcotest.test_case "R4 partial functions" `Quick test_r4;
           Alcotest.test_case "R6 secret taint" `Quick test_r6;
           Alcotest.test_case "R7 lock discipline" `Quick test_r7;
+          Alcotest.test_case "R7 domain rules" `Quick test_r7_domains;
         ] );
       ( "driver",
         [
