@@ -350,12 +350,144 @@ let server_bench ?(txns_per_client = 50) ?(client_counts = [ 1; 2; 4; 8 ]) () =
     \ one-way-counter bumps than durable commits, so throughput scales with clients)\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Replication: follower lag and ingest rate vs emission interval      *)
+(* ------------------------------------------------------------------ *)
+
+type replica_row = {
+  rr_interval : int;
+  rr_txns : int;
+  rr_backups : int;
+  rr_stream_bytes : int;
+  rr_avg_lag : float;  (* commits behind, sampled after every txn *)
+  rr_max_lag : int;
+  rr_tail_ms : float;  (* convergence tail after the last commit *)
+  rr_ingest_mb_s : float;
+}
+
+let replica_one ~every ~accounts ~txns : replica_row =
+  let record_ix () : (Workload.record, int) Tdb.Indexer.t =
+    Tdb.Indexer.make ~name:"id" ~key:Tdb.Gkey.int
+      ~extract:(fun (r : Workload.record) -> r.Workload.id)
+      ~unique:true ~impl:Tdb.Indexer.Hash ()
+  in
+  let expose srv =
+    Tdb.Server.expose_collection srv ~name:"account" ~schema:Workload.account_cls
+      ~indexers:[ Tdb.Indexer.Generic (record_ix ()) ]
+      ~mutations:
+        [ ("add", fun (r : Workload.record) rd -> r.Workload.balance <- r.Workload.balance + Tdb.Pickle.read_int rd) ]
+      ()
+  in
+  let seed = "bench-replica" in
+  let _, pdev = Tdb.Device.in_memory ~seed () in
+  let pdb =
+    Tdb.create
+      ~config:{ Tdb.Chunk_config.default with Tdb.Chunk_config.replica_interval_commits = every }
+      pdev
+  in
+  let psrv = Tdb.Server.create ~backups:pdb.Tdb.backups pdb.Tdb.objects (Tdb.Server.Tcp ("127.0.0.1", 0)) in
+  expose psrv;
+  Tdb.Server.start psrv;
+  let paddr = Tdb.Server.Tcp ("127.0.0.1", Tdb.Server.port psrv) in
+  let _, fdev = Tdb.Device.in_memory ~seed () in
+  let fdb = Tdb.create fdev in
+  let rep =
+    Tdb.Replica.start
+      ~config:{ Tdb.Replica.default_config with Tdb.Replica.poll = 0.01 }
+      ~os:fdb.Tdb.objects ~backups:fdb.Tdb.backups ~from:paddr ()
+  in
+  let c = Tdb.Client.connect paddr in
+  Fun.protect
+    ~finally:(fun () ->
+      Tdb.Client.close c;
+      Tdb.Replica.stop rep;
+      Tdb.Server.stop psrv)
+    (fun () ->
+      Tdb.Client.begin_ c;
+      for id = 0 to accounts - 1 do
+        ignore (Tdb.Client.coll_insert c ~coll:"account" Workload.account_cls (Workload.make_record ~id ~balance:0))
+      done;
+      Tdb.Client.commit ~durable:false c;
+      let rng = Tdb_crypto.Drbg.create ~seed:"bench-replica-txn" in
+      let lag_sum = ref 0 and lag_max = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to txns do
+        Tdb.Client.begin_ c;
+        ignore
+          (Tdb.Client.coll_mutate c ~coll:"account" ~index:"id" ~mutation:"add" Tdb.Gkey.int
+             (Tdb_crypto.Drbg.int rng accounts) Workload.account_cls
+             ~arg:(fun w -> Tdb.Pickle.int w 7));
+        Tdb.Client.commit ~durable:true c;
+        let lag =
+          max 0 (Tdb.Chunk_store.commit_seq pdb.Tdb.chunks - (Tdb.Replica.status rep).Tdb.Replica.applied_seq)
+        in
+        lag_sum := !lag_sum + lag;
+        if lag > !lag_max then lag_max := lag
+      done;
+      let t_load = Unix.gettimeofday () in
+      if not (Tdb.Replica.wait_converged ~timeout:60. rep) then failwith "replica bench: no convergence";
+      let t_conv = Unix.gettimeofday () in
+      let archive = pdev.Tdb.Device.archive in
+      let stream_bytes =
+        List.fold_left
+          (fun acc name ->
+            match Tdb.Archival_store.get archive ~name with Some s -> acc + String.length s | None -> acc)
+          0
+          (Tdb.Archival_store.list archive)
+      in
+      let backups = (Tdb.Backup_store.chain_state pdb.Tdb.backups).Tdb.Backup_store.last_id in
+      {
+        rr_interval = every;
+        rr_txns = txns;
+        rr_backups = backups;
+        rr_stream_bytes = stream_bytes;
+        rr_avg_lag = float_of_int !lag_sum /. float_of_int txns;
+        rr_max_lag = !lag_max;
+        rr_tail_ms = (t_conv -. t_load) *. 1000.;
+        rr_ingest_mb_s =
+          (if t_conv -. t0 > 0. then float_of_int stream_bytes /. 1048576. /. (t_conv -. t0) else 0.);
+      })
+
+let replica_bench ?(json = false) () =
+  Printf.printf "== Replication: follower lag and ingest rate vs emission interval ==\n\n";
+  Printf.printf "(in-process primary server + follower over loopback TCP; %s)\n\n"
+    "single-core hosts timeshare the follower with the primary — see EXPERIMENTS.md";
+  let rows = List.map (fun every -> replica_one ~every ~accounts:64 ~txns:256) [ 1; 8; 32 ] in
+  Printf.printf "%-10s %8s %9s %12s %12s %10s %14s %12s\n" "interval" "txns" "backups" "stream KB"
+    "avg lag" "max lag" "tail conv ms" "ingest MB/s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10d %8d %9d %12.1f %12.2f %10d %14.1f %12.2f\n" r.rr_interval r.rr_txns
+        r.rr_backups
+        (float_of_int r.rr_stream_bytes /. 1024.)
+        r.rr_avg_lag r.rr_max_lag r.rr_tail_ms r.rr_ingest_mb_s)
+    rows;
+  Printf.printf
+    "\n(lag is commits-behind sampled after every primary commit; small intervals\n\
+    \ emit more, smaller frames — lower lag, more stream bytes per txn)\n\n";
+  if json then begin
+    let body =
+      String.concat ",\n"
+        (List.map
+           (fun r ->
+             Printf.sprintf
+               "    { \"interval\": %d, \"txns\": %d, \"backups\": %d, \"stream_bytes\": %d,\n\
+               \      \"avg_lag_commits\": %.3f, \"max_lag_commits\": %d, \"tail_converge_ms\": %.2f,\n\
+               \      \"ingest_mb_per_s\": %.3f }"
+               r.rr_interval r.rr_txns r.rr_backups r.rr_stream_bytes r.rr_avg_lag r.rr_max_lag
+               r.rr_tail_ms r.rr_ingest_mb_s)
+           rows)
+    in
+    write_file "BENCH_REPLICA.json"
+      (Printf.sprintf "{\n  \"bench\": \"replica\",\n  \"intervals\": [1, 8, 32],\n  \"rows\": [\n%s\n  ]\n}\n" body)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [all|footprint|tpcb|utilization|micro|ablation|server|domains] \
+    "usage: bench/main.exe [all|footprint|tpcb|utilization|micro|ablation|server|domains|replica] \
      [--scale quick|default|paper] [--no-idle] [--json]";
   exit 1
 
@@ -406,5 +538,6 @@ let () =
       | "ablation" -> ablation scale
       | "server" -> server_bench ()
       | "domains" -> domains_sweep ~json:!json scale
+      | "replica" -> replica_bench ~json:!json ()
       | _ -> usage ())
     cmds

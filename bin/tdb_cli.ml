@@ -46,6 +46,14 @@ let status_cmd =
       (match Tdb.Archival_store.list db.Tdb.device.Tdb.Device.archive with
       | [] -> "(none)"
       | l -> String.concat ", " l);
+    (let bid = st.Tdb.Chunk_store.backup_last_id in
+     Printf.printf "backup chain: %s\n"
+       (if bid = 0 then "(none)"
+        else
+          Printf.sprintf "#%d, chain %s%s" bid
+            (String.sub (Tdb.Crypto.Hex.of_string st.Tdb.Chunk_store.backup_chain) 0 12)
+            (if st.Tdb.Chunk_store.backup_base_snapshot >= 0 then ""
+             else " (follower: applied, not emitted)")));
     Printf.printf "session:      %d commits, %d checkpoints, %d cleaning passes\n" st.Tdb.Chunk_store.commits
       st.Tdb.Chunk_store.checkpoints st.Tdb.Chunk_store.clean_passes;
     let ch = st.Tdb.Chunk_store.cache_hits and cm = st.Tdb.Chunk_store.cache_misses in
@@ -194,7 +202,12 @@ let remote_status_cmd =
           s.Tdb.Proto.s_cache_evictions;
         Printf.printf "parallelism:     %d domains, %d pool batches (%d tasks), %.1f ms waited\n"
           s.Tdb.Proto.s_domains s.Tdb.Proto.s_par_batches s.Tdb.Proto.s_par_tasks
-          (float_of_int s.Tdb.Proto.s_par_wait_us /. 1e3))
+          (float_of_int s.Tdb.Proto.s_par_wait_us /. 1e3);
+        Printf.printf "backup chain:    %s\n"
+          (if s.Tdb.Proto.s_backup_last_id = 0 then "(none)"
+           else
+             Printf.sprintf "#%d, chain %s" s.Tdb.Proto.s_backup_last_id
+               (String.sub (Tdb.Crypto.Hex.of_string s.Tdb.Proto.s_backup_chain) 0 12)))
   in
   Cmd.v
     (Cmd.info "remote-status" ~doc:"Print a running server's session, commit and group-commit counters.")
@@ -219,10 +232,96 @@ let remote_balance_cmd =
     (Cmd.info "remote-balance" ~doc:"Look up an account balance on a running server (demo schema).")
     Term.(const run $ addr_term $ account)
 
+(* A bounded TPC-B load driver against a running server's demo schema —
+   what the CI end-to-end replication job drives the primary with. *)
+let remote_tpcb_cmd =
+  let txns = Arg.(value & opt int 100 & info [ "txns" ] ~docv:"N" ~doc:"Transactions to commit durably.") in
+  let setup = Arg.(value & flag & info [ "setup" ] ~doc:"Create the demo records first (nondurable bulk load).") in
+  let accounts = Arg.(value & opt int 100 & info [ "accounts" ] ~docv:"N" ~doc:"Accounts (with --setup).") in
+  let seed = Arg.(value & opt string "cli-tpcb" & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic input seed.") in
+  let run addr txns setup accounts seed =
+    let scale =
+      { Tdb_tpcb.Workload.quick_scale with
+        Tdb_tpcb.Workload.accounts;
+        tellers = max 1 (accounts / 10);
+        branches = max 1 (accounts / 20);
+      }
+    in
+    with_client addr (fun c ->
+        if setup then
+          Tdb.Client.with_txn ~durable:false c (fun () ->
+              let load coll cls n =
+                for id = 0 to n - 1 do
+                  ignore
+                    (Tdb.Client.coll_insert c ~coll cls (Tdb_tpcb.Workload.make_record ~id ~balance:0))
+                done
+              in
+              load "account" Tdb_tpcb.Workload.account_cls scale.Tdb_tpcb.Workload.accounts;
+              load "teller" Tdb_tpcb.Workload.teller_cls scale.Tdb_tpcb.Workload.tellers;
+              load "branch" Tdb_tpcb.Workload.branch_cls scale.Tdb_tpcb.Workload.branches);
+        let rng = Tdb.Crypto.Drbg.create ~seed in
+        let retries = ref 0 in
+        for j = 0 to txns - 1 do
+          let input = Tdb_tpcb.Workload.gen_txn rng scale in
+          let rec attempt () =
+            match
+              Tdb.Client.begin_ c;
+              let add coll cls id delta =
+                ignore
+                  (Tdb.Client.coll_mutate c ~coll ~index:"id" ~mutation:"add" Tdb.Gkey.int id cls
+                     ~arg:(fun w -> Tdb.Pickle.int w delta))
+              in
+              add "account" Tdb_tpcb.Workload.account_cls input.Tdb_tpcb.Workload.account
+                input.Tdb_tpcb.Workload.delta;
+              add "teller" Tdb_tpcb.Workload.teller_cls input.Tdb_tpcb.Workload.teller
+                input.Tdb_tpcb.Workload.delta;
+              add "branch" Tdb_tpcb.Workload.branch_cls input.Tdb_tpcb.Workload.branch
+                input.Tdb_tpcb.Workload.delta;
+              ignore
+                (Tdb.Client.coll_insert c ~coll:"history" Tdb_tpcb.Workload.history_cls
+                   (Tdb_tpcb.Workload.make_history ~h_id:j ~input));
+              Tdb.Client.commit ~durable:true c
+            with
+            | () -> ()
+            | exception Tdb.Client.Server_error { tag; msg = _ } when String.equal tag "lock_timeout" ->
+                incr retries;
+                attempt ()
+          in
+          attempt ()
+        done;
+        Printf.printf "committed %d TPC-B transactions (%d lock-timeout retries)\n" txns !retries)
+  in
+  Cmd.v
+    (Cmd.info "remote-tpcb" ~doc:"Drive bounded TPC-B transactions against a running server (demo schema).")
+    Term.(const run $ addr_term $ txns $ setup $ accounts $ seed)
+
+(* Balance sums + history size: a cheap whole-database digest for
+   comparing a primary and its replication follower. *)
+let remote_sum_cmd =
+  let run addr =
+    with_client addr (fun c ->
+        Tdb.Client.with_txn ~durable:false c (fun () ->
+            let sum coll cls =
+              List.fold_left
+                (fun acc (_, r) -> acc + r.Tdb_tpcb.Workload.balance)
+                0
+                (Tdb.Client.coll_scan c ~coll ~index:"id" Tdb.Gkey.int cls)
+            in
+            Printf.printf "account %d teller %d branch %d history %d\n"
+              (sum "account" Tdb_tpcb.Workload.account_cls)
+              (sum "teller" Tdb_tpcb.Workload.teller_cls)
+              (sum "branch" Tdb_tpcb.Workload.branch_cls)
+              (Tdb.Client.coll_size c ~coll:"history")))
+  in
+  Cmd.v
+    (Cmd.info "remote-sum"
+       ~doc:"Print balance sums and history size (demo schema) — a digest to compare replicas with.")
+    Term.(const run $ addr_term)
+
 let () =
   let doc = "TDB: a trusted database system for Digital Rights Management" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tdb" ~doc ~version:"0.1.0")
           [ init_cmd; status_cmd; verify_cmd; clean_cmd; backup_cmd; restore_cmd;
-            remote_status_cmd; remote_balance_cmd ]))
+            remote_status_cmd; remote_balance_cmd; remote_tpcb_cmd; remote_sum_cmd ]))

@@ -16,6 +16,7 @@ let () =
   let quiet = ref false in
   let no_gc = ref false in
   let no_flush = ref false in
+  let no_replica = ref false in
   let seed = ref Tdb_faultsim.Crashfuzz.default_trace.Tdb_faultsim.Crashfuzz.seed in
   let spec =
     [
@@ -27,6 +28,7 @@ let () =
       ("--seed", Arg.Set_string seed, "S  trace seed (default tdb-crashfuzz)");
       ("--no-group-commit", Arg.Set no_gc, "  skip the group-commit (staged barrier) sweep");
       ("--no-commit-flush", Arg.Set no_flush, "  skip the coalesced commit-flush (fragment boundary) sweep");
+      ("--no-replica", Arg.Set no_replica, "  skip the replication-ingest crash and stream-tamper sweeps");
       ("--json", Arg.Set json, "  emit the JSON summary on stdout");
       ("--quiet", Arg.Set quiet, "  no progress output");
     ]
@@ -56,15 +58,36 @@ let () =
       Some r
     end
   in
+  let replica =
+    if !no_replica then None
+    else begin
+      let r = Tdb_faultsim.Crashfuzz.sweep_replica ~progress ~trace ~seeds:!seeds ~stride:!stride () in
+      if not !quiet then
+        Printf.eprintf "\rreplica sweep done: %d runs over %d boundaries\n%!" r.runs r.boundaries;
+      Some r
+    end
+  in
+  let replica_tamper =
+    if !no_replica then None
+    else begin
+      let r = Tdb_faultsim.Crashfuzz.sweep_replica_tamper ~mask:!mask ~trace () in
+      if not !quiet then
+        Printf.eprintf "replica tamper sweep done: %d flips (%d detected, %d harmless)\n%!" r.flips
+          r.detected r.harmless;
+      Some r
+    end
+  in
   let tamper = Tdb_faultsim.Crashfuzz.sweep_tamper ~stride:!tamper_stride ~mask:!mask ~trace () in
   if not !quiet then
     Printf.eprintf "tamper sweep done: %d flips (%d detected, %d harmless)\n%!" tamper.flips tamper.detected
       tamper.harmless;
   let gc_violations = match gc with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   let flush_violations = match flush with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
+  let replica_violations = match replica with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   if !json then
     print_endline
-      (Tdb_faultsim.Crashfuzz.json_summary ?group_commit:gc ?commit_flush:flush ~trace ~crash ~tamper ())
+      (Tdb_faultsim.Crashfuzz.json_summary ?group_commit:gc ?commit_flush:flush ?replica ?replica_tamper
+         ~trace ~crash ~tamper ())
   else begin
     Printf.printf "boundaries=%d crashpoints=%d seeds=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
       crash.boundaries crash.crashpoints crash.seeds crash.runs crash.crashes crash.recoveries
@@ -85,16 +108,33 @@ let () =
           r.Tdb_faultsim.Crashfuzz.boundaries r.Tdb_faultsim.Crashfuzz.crashpoints
           r.Tdb_faultsim.Crashfuzz.runs r.Tdb_faultsim.Crashfuzz.crashes r.Tdb_faultsim.Crashfuzz.recoveries
           (List.length r.Tdb_faultsim.Crashfuzz.violations));
+    (match replica with
+    | None -> ()
+    | Some r ->
+        Printf.printf
+          "replica: boundaries=%d crashpoints=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
+          r.Tdb_faultsim.Crashfuzz.boundaries r.Tdb_faultsim.Crashfuzz.crashpoints
+          r.Tdb_faultsim.Crashfuzz.runs r.Tdb_faultsim.Crashfuzz.crashes r.Tdb_faultsim.Crashfuzz.recoveries
+          (List.length r.Tdb_faultsim.Crashfuzz.violations));
+    (match replica_tamper with
+    | None -> ()
+    | Some r ->
+        Printf.printf "replica-tamper: flips=%d detected=%d harmless=%d silent=%d\n"
+          r.Tdb_faultsim.Crashfuzz.flips r.Tdb_faultsim.Crashfuzz.detected
+          r.Tdb_faultsim.Crashfuzz.harmless r.Tdb_faultsim.Crashfuzz.silent);
     Printf.printf "tamper: flips=%d detected=%d harmless=%d silent=%d\n" tamper.flips tamper.detected
       tamper.harmless tamper.silent;
     List.iter
       (fun v ->
         Printf.printf "VIOLATION %s %s: %s\n" v.Tdb_faultsim.Crashfuzz.v_run v.Tdb_faultsim.Crashfuzz.v_kind
           v.Tdb_faultsim.Crashfuzz.v_detail)
-      (crash.violations @ gc_violations @ flush_violations)
+      (crash.violations @ gc_violations @ flush_violations @ replica_violations)
   end;
   let bad =
-    (match crash.violations @ gc_violations @ flush_violations with [] -> false | _ :: _ -> true)
+    (match crash.violations @ gc_violations @ flush_violations @ replica_violations with
+    | [] -> false
+    | _ :: _ -> true)
     || tamper.silent > 0
+    || (match replica_tamper with None -> false | Some r -> r.Tdb_faultsim.Crashfuzz.silent > 0)
   in
   exit (if bad then 1 else 0)

@@ -40,19 +40,6 @@ type t = {
   iv_gen : Tdb_crypto.Drbg.t;
 }
 
-let create ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Archival_store.t)
-    (cs : Chunk_store.t) : t =
-  {
-    cs;
-    archive;
-    cipher =
-      Tdb_crypto.Cbc.make
-        (module Tdb_crypto.Aes)
-        ~secret:(Tdb_platform.Secret_store.derive_len secret "backup-cipher" Tdb_crypto.Aes.key_size);
-    mac_key = Tdb_platform.Secret_store.derive secret "backup-mac";
-    iv_gen = Tdb_crypto.Drbg.create ~seed:(Tdb_platform.Secret_store.derive secret "backup-iv");
-  }
-
 (* --- chain state persistence --- *)
 
 let encode_state (s : chain_state) : string =
@@ -77,9 +64,40 @@ let load_state t : chain_state =
   | data -> decode_state data
   | exception Types.Not_written _ -> { last_id = 0; chain = "genesis"; base_snapshot = None }
 
+(* Mirror the chain position into the chunk store's stats record, so
+   operators (tdb_cli status / remote-status) see the backup/replication
+   position without opening the archive. *)
+let publish_stats t (s : chain_state) : unit =
+  let st = Chunk_store.stats t.cs in
+  st.Chunk_store.backup_last_id <- s.last_id;
+  st.Chunk_store.backup_chain <- s.chain;
+  st.Chunk_store.backup_base_snapshot <- (match s.base_snapshot with Some v -> v | None -> -1)
+
 let save_state t (s : chain_state) : unit =
   Chunk_store.write t.cs state_cid (encode_state s);
-  Chunk_store.commit ~durable:true t.cs
+  Chunk_store.commit ~durable:true t.cs;
+  publish_stats t s
+
+let chain_state t : chain_state = load_state t
+
+let create ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Archival_store.t)
+    (cs : Chunk_store.t) : t =
+  let t =
+    {
+      cs;
+      archive;
+      cipher =
+        Tdb_crypto.Cbc.make
+          (module Tdb_crypto.Aes)
+          ~secret:(Tdb_platform.Secret_store.derive_len secret "backup-cipher" Tdb_crypto.Aes.key_size);
+      mac_key = Tdb_platform.Secret_store.derive secret "backup-mac";
+      iv_gen = Tdb_crypto.Drbg.create ~seed:(Tdb_platform.Secret_store.derive secret "backup-iv");
+    }
+  in
+  publish_stats t (load_state t);
+  t
+
+let archive t = t.archive
 
 (* --- stream framing --- *)
 
@@ -171,6 +189,21 @@ let unframe_with ~(cipher : Tdb_crypto.Cbc.cipher) ~(mac_key : string) (stream :
 
 let name_of (h : header) : string =
   Printf.sprintf "tdb-%06d-%s" h.id (match h.kind with Full -> "full" | Incremental _ -> "incr")
+
+let stream_name = name_of
+
+(** Parse an archive entry name back to (id, kind). Names are untrusted
+    hints for ordering the publish stream; the follower verifies every
+    frame's MAC and chain before believing anything. *)
+let parse_name (name : string) : (int * [ `Full | `Incremental ]) option =
+  let n = String.length name in
+  if n < 4 + 1 + 5 || not (String.equal (String.sub name 0 4) "tdb-") then None
+  else
+    let digits = String.sub name 4 (n - 9) in
+    let kind = match String.sub name (n - 5) 5 with "-full" -> Some `Full | "-incr" -> Some `Incremental | _ -> None in
+    match (int_of_string_opt digits, kind) with
+    | Some id, Some k when id > 0 -> Some (id, k)
+    | _ -> None
 
 (* --- backup creation --- *)
 
@@ -298,3 +331,71 @@ let restore ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Arc
   ignore incrementals;
   Chunk_store.checkpoint into;
   full_h.id + incrementals
+
+(* --- replication ingest --- *)
+
+(** Verify one archive stream against this store's persisted chain state,
+    then apply it atomically — the follower side of replication.
+
+    Verification strictly precedes mutation: the stream's MAC, its header,
+    and its chain value (recomputed from the persisted chain state) must
+    all check out before a single chunk is touched. The apply itself is
+    staged: every restored chunk, every deallocation *and the advanced
+    chain state* land in one batch made durable by a single commit, so a
+    crash at any point leaves the store at the previous consistent
+    snapshot with a chain state that still matches it.
+
+    A [Full] stream re-bootstraps the follower in place: live ids absent
+    from the stream are deallocated in the same batch, so a stale follower
+    converges without ever passing through an empty store. Fulls with
+    [id <= last_id] are rejected — accepting one would let a replayed old
+    archive roll the follower back.
+
+    Returns the applied header (its [seq] is the primary commit sequence
+    this follower now reflects).
+    @raise Invalid_backup on any verification failure; the store is
+    unchanged. *)
+let apply_stream t (stream : string) : header =
+  let p = unframe_with ~cipher:t.cipher ~mac_key:t.mac_key stream in
+  let st = load_state t in
+  let h = p.p_header in
+  let base_chain =
+    match h.kind with
+    | Full ->
+        if h.id <= st.last_id then
+          invalid "full backup %d replayed against chain state %d (rollback refused)" h.id st.last_id;
+        "genesis"
+    | Incremental base ->
+        if (not (Int.equal base st.last_id)) || not (Int.equal h.id (st.last_id + 1)) then
+          invalid "incremental %d (base %d) does not extend chain state %d" h.id base st.last_id;
+        st.chain
+  in
+  let expected =
+    Tdb_crypto.Hmac.sha256 ~key:t.mac_key
+      (base_chain ^ encode_header h ^ encode_body ~changed:p.p_changed ~removed:p.p_removed)
+  in
+  if not (Tdb_crypto.Ct.equal_string expected p.p_chain) then
+    invalid "chain mismatch at backup %d (out-of-sequence or forged)" h.id;
+  (try
+     (match h.kind with
+     | Full ->
+         let keep = Hashtbl.create (List.length p.p_changed + 1) in
+         List.iter (fun (cid, _) -> Hashtbl.replace keep cid ()) p.p_changed;
+         List.iter
+           (fun cid ->
+             if (not (Hashtbl.mem keep cid)) && not (Int.equal cid state_cid) then
+               match Chunk_store.deallocate t.cs cid with () -> () | exception Types.Not_allocated _ -> ())
+           (Chunk_store.live_ids t.cs)
+     | Incremental _ -> ());
+     List.iter (fun (cid, data) -> Chunk_store.restore_chunk t.cs cid data) p.p_changed;
+     List.iter
+       (fun cid -> match Chunk_store.deallocate t.cs cid with () -> () | exception Types.Not_allocated _ -> ())
+       p.p_removed
+   with Types.Chunk_too_large { cid; size; max } ->
+     Chunk_store.abort_batch t.cs;
+     invalid "backup record for chunk %d is %d bytes (limit %d)" cid size max);
+  let st' = { last_id = h.id; chain = p.p_chain; base_snapshot = None } in
+  Chunk_store.restore_chunk t.cs state_cid (encode_state st');
+  Chunk_store.commit ~durable:true t.cs;
+  publish_stats t st';
+  h

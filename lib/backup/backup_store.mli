@@ -18,11 +18,44 @@ exception Invalid_backup of string
 
 type t
 
+type kind = Full | Incremental of int  (** base backup id *)
+
+type header = {
+  id : int;  (** backup id, dense and increasing *)
+  kind : kind;
+  seq : int;  (** primary commit sequence captured by the snapshot *)
+}
+
+type chain_state = {
+  last_id : int;  (** 0 = no backups yet *)
+  chain : string;  (** cumulative HMAC chain value ("genesis" before any) *)
+  base_snapshot : int option;
+      (** the snapshot the next incremental diffs against; [None] on
+          followers (they never diff) and before the first full *)
+}
+
 val create :
   secret:Tdb_platform.Secret_store.t ->
   archive:Tdb_platform.Archival_store.t ->
   Tdb_chunk.Chunk_store.t ->
   t
+(** Also mirrors the persisted chain position into
+    {!Tdb_chunk.Chunk_store.stats} ([backup_last_id] / [backup_chain] /
+    [backup_base_snapshot]), as do all operations below that advance it. *)
+
+val chain_state : t -> chain_state
+(** The persisted chain position (reserved chunk id inside the store). *)
+
+val archive : t -> Tdb_platform.Archival_store.t
+
+val stream_name : header -> string
+(** Canonical archive entry name for a stream with this header
+    ([tdb-NNNNNN-full|incr]) — what {!parse_name} inverts. *)
+
+val parse_name : string -> (int * [ `Full | `Incremental ]) option
+(** Parse an archive entry name ([tdb-NNNNNN-full|incr]) to (id, kind) —
+    an untrusted ordering hint for the publisher; consumers verify frames
+    cryptographically before believing anything. *)
 
 val backup_full : t -> int
 (** Write a full backup; resets the incremental chain. Returns its id. *)
@@ -45,3 +78,14 @@ val restore :
     @raise Invalid_backup on missing/forged/out-of-order streams, and on
     records too large for the target store's configuration (the batch is
     aborted, leaving the target clean). *)
+
+val apply_stream : t -> string -> header
+(** Replication ingest: verify one archive stream (MAC, header, hash chain
+    recomputed from this store's persisted chain state) and apply it
+    atomically — restored chunks, deallocations and the advanced chain
+    state land in a single durable commit, so a crash mid-ingest leaves
+    the store at the previous consistent snapshot. A [Full] stream
+    re-bootstraps in place (live ids absent from it are deallocated in the
+    same batch); fulls with [id <= last_id] are rejected to refuse replay
+    rollback. Returns the applied header.
+    @raise Invalid_backup on any verification failure (store unchanged). *)

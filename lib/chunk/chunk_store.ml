@@ -44,6 +44,9 @@ type stats = {
   mutable par_batches : int; (* pool batches this store fanned out *)
   mutable par_tasks : int; (* items executed through the pool *)
   mutable par_wait_ns : int; (* coordinator time parked on pool workers *)
+  mutable backup_last_id : int; (* backup/replication position, published *)
+  mutable backup_base_snapshot : int; (* by Backup_store; -1 = no base *)
+  mutable backup_chain : string; (* current backup hash-chain value *)
 }
 
 type t = {
@@ -79,7 +82,8 @@ type t = {
 let fresh_stats () =
   { commits = 0; durable_commits = 0; checkpoints = 0; clean_passes = 0; segments_cleaned = 0;
     chunks_relocated = 0; tampers = 0; bytes_data = 0; bytes_map = 0; bytes_commit = 0; grow_policy = 0; grow_fallback = 0; grow_backstop = 0;
-    cache_hits = 0; cache_misses = 0; cache_evictions = 0; par_batches = 0; par_tasks = 0; par_wait_ns = 0 }
+    cache_hits = 0; cache_misses = 0; cache_evictions = 0; par_batches = 0; par_tasks = 0; par_wait_ns = 0;
+    backup_last_id = 0; backup_base_snapshot = -1; backup_chain = "" }
 
 (* ------------------------------------------------------------------ *)
 (* Low-level record I/O                                                *)
@@ -1134,6 +1138,16 @@ let set_cache_budget t b =
   Chunk_cache.set_budget t.cache b
 
 let counter_value t = t.last_counter
+let commit_seq t = t.seq
+
+(** Chunk ids present in the last committed location map (pending batch
+    writes excluded), in ascending id order — the committed footprint a
+    full backup captures and a replica ingest must reconcile against. *)
+let live_ids t : chunk_id list =
+  let acc = ref [] in
+  Location_map.iter t.map (fetch t) ~data:(fun cid _ -> acc := cid :: !acc) ~node:(fun _ -> ());
+  List.sort Int.compare !acc
+
 let utilization t = Log.utilization t.log
 let live_bytes t = Log.live_bytes t.log
 let capacity t = Log.capacity t.log

@@ -195,6 +195,14 @@ type stats = {
   mutable par_tasks : int;  (** items executed through the pool *)
   mutable par_wait_ns : int;  (** coordinator time parked waiting on pool
                                   workers (contention signal) *)
+  mutable backup_last_id : int;
+      (** id of the last backup emitted or applied (0 = none); published
+          by {!Tdb_backup.Backup_store} so operators can read the
+          backup/replication position off plain store stats *)
+  mutable backup_base_snapshot : int;
+      (** snapshot id the next incremental backup will diff against; -1
+          when there is none (no backups yet, or a replication follower) *)
+  mutable backup_chain : string;  (** current backup hash-chain value *)
 }
 
 val stats : t -> stats
@@ -224,6 +232,16 @@ val set_cache_budget : t -> int -> unit
 val counter_value : t -> int64
 (** The database's view of the one-way counter (advanced by durable
     commits and {!durable_barrier}s while security is on). *)
+
+val commit_seq : t -> int
+(** Sequence number of the last commit (durable or not); snapshots carry
+    the sequence current when they were taken. *)
+
+val live_ids : t -> Types.chunk_id list
+(** Chunk ids present in the last committed location map, ascending.
+    Pending batch writes are excluded. This is the committed footprint a
+    full backup captures, and what a replica ingest reconciles a stale
+    follower against. *)
 
 val utilization : t -> float
 val live_bytes : t -> int

@@ -44,7 +44,21 @@ type t = {
           ([TDB_DOMAINS] overrides; see {!Tdb_parallel.Pool}). Any width
           produces byte-identical store images — parallelism never
           reorders appends or IV draws. *)
+  replica_interval_commits : int;
+      (** When a server has a backup store attached, auto-emit an
+          incremental backup every this many durable commits, feeding the
+          replication stream without manual [backup_incremental] calls.
+          0 disables auto-emission (the default, so standalone stores and
+          benches are unchanged). [TDB_REPLICA_EVERY] overrides. *)
 }
+
+let default_replica_interval () =
+  match Sys.getenv_opt "TDB_REPLICA_EVERY" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> invalid_arg "TDB_REPLICA_EVERY must be an integer >= 0" )
+  | None -> 0
 
 let default =
   {
@@ -62,6 +76,7 @@ let default =
     clean_batch = 8;
     chunk_cache_bytes = 1024 * 1024;
     domains = Tdb_parallel.Pool.default_domains ();
+    replica_interval_commits = default_replica_interval ();
   }
 
 (** Largest chunk payload storable with this configuration (one record must
@@ -79,4 +94,5 @@ let validate (c : t) =
   if c.checkpoint_residual_bytes < 4 * c.segment_size then
     invalid_arg "Config: checkpoint_residual_bytes must cover a few segments";
   if c.chunk_cache_bytes < 0 then invalid_arg "Config: chunk_cache_bytes negative";
-  if c.domains < 1 || c.domains > 128 then invalid_arg "Config: domains out of [1, 128]"
+  if c.domains < 1 || c.domains > 128 then invalid_arg "Config: domains out of [1, 128]";
+  if c.replica_interval_commits < 0 then invalid_arg "Config: replica_interval_commits negative"

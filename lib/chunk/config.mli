@@ -48,6 +48,11 @@ type t = {
           domain pool is never touched). Defaults to the available cores,
           overridable via [TDB_DOMAINS]. Store images are byte-identical
           at every width. *)
+  replica_interval_commits : int;
+      (** When a server has a backup store attached, auto-emit an
+          incremental backup every this many durable commits (feeding the
+          replication stream). 0 = off (the default); [TDB_REPLICA_EVERY]
+          overrides the default. *)
 }
 
 val default : t

@@ -673,6 +673,308 @@ let sweep_tamper ?(stride = 7) ?(mask = 0x10) ~trace () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Replica-ingest sweep *)
+
+module BK = Tdb_backup.Backup_store
+module AS = Tdb_platform.Archival_store
+
+(* A primary's archive built once per sweep: a bootstrap full, a run of
+   incrementals, a mid-sequence full (the in-place re-bootstrap a stale
+   follower gets) and more incrementals — with the primary's chunk state
+   snapshotted at every backup boundary. The follower sweep replays these
+   streams through {!Tdb_backup.Backup_store.apply_stream} and crashes the
+   follower's stores at every write/sync boundary of the ingest. *)
+type replica_fixture = {
+  r_streams : string array;  (* archive streams, in application order *)
+  r_ids : int array;  (* r_ids.(i) = backup id carried by stream i *)
+  r_states : chunk_state array;  (* r_states.(b) = state after b streams; (0) = empty *)
+  r_cids : (int, unit) Hashtbl.t;  (* every workload chunk id the primary used *)
+}
+
+let replica_backups_total = 6
+let replica_mid_full = 4 (* this backup id is a full against a live follower *)
+
+let build_replica_fixture ~trace : replica_fixture =
+  let secret = Tdb_platform.Secret_store.of_seed "crashfuzz-device" in
+  let _, db = US.open_mem () in
+  let _, ctr_s = US.open_mem () in
+  let _, archive = AS.open_mem () in
+  let ctr = OWC.open_store ctr_s in
+  let cs = Chunk_store.create ~config:store_config ~secret ~counter:ctr db in
+  let bs = BK.create ~secret ~archive cs in
+  let model : chunk_state = Hashtbl.create 64 in
+  let r_cids = Hashtbl.create 64 in
+  let rng = Drbg.create ~seed:(trace.seed ^ ":replica") in
+  let n_base = trace.accounts + trace.tellers + trace.branches in
+  let base = Array.init n_base (fun _ -> Chunk_store.allocate cs) in
+  Array.iteri
+    (fun i cid ->
+      let data = pad (Printf.sprintf "rbase:%03d:%d" i (Drbg.int rng 1_000_000)) in
+      Chunk_store.write cs cid data;
+      Hashtbl.replace model cid data;
+      Hashtbl.replace r_cids cid ())
+    base;
+  Chunk_store.commit ~durable:true cs;
+  let boundaries = ref [] (* (id, state), newest first *) in
+  let record id = boundaries := (id, Hashtbl.copy model) :: !boundaries in
+  record (BK.backup_full bs);
+  let fresh = Queue.create () in
+  let txn = ref 0 in
+  for b = 2 to replica_backups_total do
+    for i = 1 to trace.durable_every do
+      incr txn;
+      let cid = base.(Drbg.int rng n_base) in
+      let data = pad (Printf.sprintf "rupd:%03d:%04d:%d" cid !txn (Drbg.int rng 10_000)) in
+      Chunk_store.write cs cid data;
+      Hashtbl.replace model cid data;
+      let c = Chunk_store.allocate cs in
+      let hdata = pad (Printf.sprintf "rhist:%04d" !txn) in
+      Chunk_store.write cs c hdata;
+      Hashtbl.replace model c hdata;
+      Hashtbl.replace r_cids c ();
+      Queue.add c fresh;
+      if Queue.length fresh > trace.history_keep then begin
+        let old = Queue.pop fresh in
+        Chunk_store.deallocate cs old;
+        Hashtbl.remove model old
+      end;
+      Chunk_store.commit ~durable:(Int.equal i trace.durable_every) cs
+    done;
+    record (if Int.equal b replica_mid_full then BK.backup_full bs else BK.backup_incremental bs)
+  done;
+  let entries =
+    AS.list archive
+    |> List.filter_map (fun name ->
+           match BK.parse_name name with
+           | Some (id, _) -> (
+               match AS.get archive ~name with Some s -> Some (id, s) | None -> None)
+           | None -> None)
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let r_streams = Array.of_list (List.map snd entries) in
+  let r_ids = Array.of_list (List.map fst entries) in
+  let r_states = Array.make (Array.length r_streams + 1) (Hashtbl.create 0) in
+  List.iteri (fun i (_, st) -> r_states.(i + 1) <- st) (List.rev !boundaries);
+  Chunk_store.close cs;
+  { r_streams; r_ids; r_states; r_cids }
+
+let replica_boundary_id fx b = if Int.equal b 0 then 0 else fx.r_ids.(b - 1)
+
+(* Count the ingest's write/sync boundaries (follower store + counter),
+   with the plan armed past the horizon. *)
+let replica_boundaries ~fx =
+  let env = make_env () in
+  let _, f_archive = AS.open_mem () in
+  let ctr = OWC.open_store env.ctr_store in
+  let cs = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr env.db in
+  let bs = BK.create ~secret:env.secret ~archive:f_archive cs in
+  Fault_plan.arm env.plan ~at:max_int ~tear:Fault_plan.Skip;
+  Array.iter (fun s -> ignore (BK.apply_stream bs s)) fx.r_streams;
+  let n = Fault_plan.ops env.plan in
+  Fault_plan.reset env.plan;
+  Chunk_store.close cs;
+  n
+
+(* One cell: crash the follower at ingest boundary [k] under a seeded
+   persistence subset, reopen, and check the staged-apply oracle — the
+   recovered follower must sit at exactly the boundary before or after the
+   stream being applied (each apply is one durable commit: earlier
+   boundaries are already durable, later ones were never issued) with a
+   chain state matching its contents, and the remaining streams must then
+   re-apply to convergence with the primary. *)
+let replica_one_run ~fx ~violations ~crashes ~recoveries ~k ~seed_idx =
+  let env = make_env () in
+  let _, f_archive = AS.open_mem () in
+  let fault_rng = Drbg.create ~seed:(Printf.sprintf "replica:fault:%d:%d" k seed_idx) in
+  let persist_prob = persist_probs.(seed_idx mod Array.length persist_probs) in
+  let crash_rng n = Drbg.int fault_rng n in
+  let run = Printf.sprintf "replica k=%d seed=%d" k seed_idx in
+  let ctr = OWC.open_store env.ctr_store in
+  let cs = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr env.db in
+  let bs = BK.create ~secret:env.secret ~archive:f_archive cs in
+  let n = Array.length fx.r_streams in
+  let matches cs b =
+    match state_matches cs fx.r_states.(b) fx.r_cids with
+    | Ok ok -> Ok ok
+    | Error m -> Error m
+  in
+  Fault_plan.arm env.plan ~at:k ~tear:tears.(Drbg.int fault_rng (Array.length tears));
+  let applying = ref 0 in
+  match
+    for i = 0 to n - 1 do
+      applying := i;
+      ignore (BK.apply_stream bs fx.r_streams.(i))
+    done
+  with
+  | () -> (
+      (* crashpoint beyond the ingest: the live follower must equal the
+         primary's newest boundary *)
+      Fault_plan.reset env.plan;
+      (match matches cs n with
+      | Ok true ->
+          if not (Int.equal (BK.chain_state bs).BK.last_id (replica_boundary_id fx n)) then
+            add violations run "replica-final-chain" "chain state disagrees with converged contents"
+      | Ok false -> add violations run "replica-diverged" "follower does not match primary after full ingest"
+      | Error m -> add violations run "tamper-during-check" m);
+      Chunk_store.close cs)
+  | exception BK.Invalid_backup m -> add violations run "replica-live-reject" m
+  | exception Harness_violation (kind, detail) -> add violations run kind detail
+  | exception e when not (match e with Fault_plan.Crash_point -> true | _ -> false) ->
+      add violations run "workload-exception" (Printexc.to_string e)
+  | exception Fault_plan.Crash_point -> (
+      incr crashes;
+      Fault_plan.reset env.plan;
+      US.Mem.crash ~persist_prob ~rng:crash_rng env.db_mem;
+      US.Mem.crash ~persist_prob ~rng:crash_rng env.ctr_mem;
+      match
+        let ctr2 = OWC.open_store env.ctr_store in
+        Chunk_store.open_existing ~config:store_config ~secret:env.secret ~counter:ctr2 env.db
+      with
+      | exception Types.Tamper_detected m -> add violations run "false-tamper" m
+      | exception Chunk_store.Recovery_failed m -> add violations run "recovery-failed" m
+      | exception e -> add violations run "recovery-exception" (Printexc.to_string e)
+      | cs2 -> (
+          incr recoveries;
+          let bs2 = BK.create ~secret:env.secret ~archive:f_archive cs2 in
+          let i = !applying in
+          let st = (BK.chain_state bs2).BK.last_id in
+          let b =
+            if Int.equal st (replica_boundary_id fx (i + 1)) then Some (i + 1)
+            else if Int.equal st (replica_boundary_id fx i) then Some i
+            else None
+          in
+          match b with
+          | None ->
+              add violations run "replica-chain-state"
+                (Printf.sprintf "recovered chain last_id %d is neither boundary %d nor %d" st
+                   (replica_boundary_id fx i)
+                   (replica_boundary_id fx (i + 1)));
+              Chunk_store.close cs2
+          | Some b -> (
+              match matches cs2 b with
+              | Error m -> add violations run "tamper-during-check" m; Chunk_store.close cs2
+              | Ok false ->
+                  add violations run "replica-torn-apply"
+                    (Printf.sprintf "chain state says boundary %d but chunk contents disagree" b);
+                  Chunk_store.close cs2
+              | Ok true ->
+                  (match
+                     for j = b to n - 1 do
+                       ignore (BK.apply_stream bs2 fx.r_streams.(j))
+                     done
+                   with
+                  | exception e -> add violations run "replica-resume" (Printexc.to_string e)
+                  | () -> (
+                      match matches cs2 n with
+                      | Ok true ->
+                          if not (Int.equal (BK.chain_state bs2).BK.last_id (replica_boundary_id fx n))
+                          then add violations run "replica-final-chain" "chain state disagrees after resume"
+                      | Ok false ->
+                          add violations run "replica-diverged" "resumed follower does not match primary"
+                      | Error m -> add violations run "tamper-during-check" m));
+                  Chunk_store.close cs2)))
+
+let sweep_replica ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
+  let fx = build_replica_fixture ~trace in
+  let boundaries = replica_boundaries ~fx in
+  let violations = ref [] in
+  let runs = ref 0 and crashes = ref 0 and recoveries = ref 0 and crashpoints = ref 0 in
+  let k = ref 0 in
+  while !k < boundaries do
+    progress !k boundaries;
+    incr crashpoints;
+    for seed_idx = 0 to seeds - 1 do
+      incr runs;
+      replica_one_run ~fx ~violations ~crashes ~recoveries ~k:!k ~seed_idx
+    done;
+    k := !k + stride
+  done;
+  {
+    boundaries;
+    crashpoints = !crashpoints;
+    seeds;
+    runs = !runs;
+    crashes = !crashes;
+    recoveries = !recoveries;
+    violations = List.rev !violations;
+  }
+
+(* Stream-tamper sweep: flip every [stride]-th byte of each archive
+   stream (and truncate it at four prefix lengths) before feeding it to a
+   follower positioned just before that stream. Every damaged frame must
+   be rejected with the follower still readable at its previous boundary,
+   and the genuine sequence must then still apply to convergence; a
+   damaged frame that is accepted is only tolerable if it leaves the
+   follower exactly at the next boundary. *)
+let sweep_replica_tamper ?(stride = 37) ?(mask = 0x10) ~trace () =
+  let fx = build_replica_fixture ~trace in
+  let n = Array.length fx.r_streams in
+  let secret = Tdb_platform.Secret_store.of_seed "crashfuzz-device" in
+  let detected = ref 0 and harmless = ref 0 and silent = ref 0 and flips = ref 0 in
+  let silent_offs = ref [] in
+  let total_bytes = Array.fold_left (fun a s -> a + String.length s) 0 fx.r_streams in
+  for i = 0 to n - 1 do
+    let _, f_archive = AS.open_mem () in
+    let _, db = US.open_mem () in
+    let _, ctr_s = US.open_mem () in
+    let ctr = OWC.open_store ctr_s in
+    let cs = Chunk_store.create ~config:store_config ~secret ~counter:ctr db in
+    let bs = BK.create ~secret ~archive:f_archive cs in
+    for j = 0 to i - 1 do
+      ignore (BK.apply_stream bs fx.r_streams.(j))
+    done;
+    let len = String.length fx.r_streams.(i) in
+    let mark_silent off = incr silent; silent_offs := ((i * 1_000_000) + off) :: !silent_offs in
+    let at b =
+      Int.equal (BK.chain_state bs).BK.last_id (replica_boundary_id fx b)
+      && (match state_matches cs fx.r_states.(b) fx.r_cids with Ok true -> true | _ -> false)
+    in
+    (* returns true if the follower advanced past boundary [i] *)
+    let attempt stream off =
+      incr flips;
+      match BK.apply_stream bs stream with
+      | _ -> if at (i + 1) then (incr harmless; true) else (mark_silent off; true)
+      | exception BK.Invalid_backup _ | exception Tdb_pickle.Pickle.Error _ ->
+          if at i then incr detected else mark_silent off;
+          false
+    in
+    let advanced = ref false in
+    let off = ref 0 in
+    while (not !advanced) && !off < len do
+      let b = Bytes.of_string fx.r_streams.(i) in
+      Bytes.set b !off (Char.chr (Char.code (Bytes.get b !off) lxor mask));
+      advanced := attempt (Bytes.to_string b) !off;
+      off := !off + stride
+    done;
+    (* torn frames: truncation at four prefix lengths, empty included *)
+    List.iter
+      (fun quarter ->
+        if not !advanced then
+          let l = len * quarter / 4 in
+          if l < len then advanced := attempt (String.sub fx.r_streams.(i) 0 l) (-(l + 1)))
+      [ 0; 1; 2; 3 ];
+    (* after surviving every rejection the genuine tail must still apply *)
+    if not !advanced then begin
+      match
+        for j = i to n - 1 do
+          ignore (BK.apply_stream bs fx.r_streams.(j))
+        done
+      with
+      | () -> if not (at n) then mark_silent 999_998
+      | exception _ -> mark_silent 999_999
+    end;
+    Chunk_store.close cs
+  done;
+  {
+    image_bytes = total_bytes;
+    flips = !flips;
+    detected = !detected;
+    harmless = !harmless;
+    silent = !silent;
+    silent_offsets = List.rev !silent_offs;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* JSON summary *)
 
 let json_escape s =
@@ -690,8 +992,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let json_summary ?group_commit ?commit_flush ~trace ~(crash : crash_report) ~(tamper : tamper_report) () :
-    string =
+let json_summary ?group_commit ?commit_flush ?replica ?replica_tamper ~trace ~(crash : crash_report)
+    ~(tamper : tamper_report) () : string =
   let b = Buffer.create 1024 in
   let add_crash_report key (r : crash_report) =
     Buffer.add_string b
@@ -714,10 +1016,18 @@ let json_summary ?group_commit ?commit_flush ~trace ~(crash : crash_report) ~(ta
   add_crash_report "crash" crash;
   (match group_commit with None -> () | Some r -> add_crash_report "group_commit" r);
   (match commit_flush with None -> () | Some r -> add_crash_report "commit_flush" r);
-  Buffer.add_string b
-    (Printf.sprintf
-       "  \"tamper\": {\"image_bytes\": %d, \"flips\": %d, \"detected\": %d, \"harmless\": %d, \"silent\": %d, \"silent_offsets\": [%s]}\n"
-       tamper.image_bytes tamper.flips tamper.detected tamper.harmless tamper.silent
-       (String.concat ", " (List.map string_of_int tamper.silent_offsets)));
-  Buffer.add_string b "}";
+  (match replica with None -> () | Some r -> add_crash_report "replica" r);
+  let tamper_json key (r : tamper_report) =
+    Printf.sprintf
+      "  \"%s\": {\"image_bytes\": %d, \"flips\": %d, \"detected\": %d, \"harmless\": %d, \"silent\": %d, \"silent_offsets\": [%s]}"
+      key r.image_bytes r.flips r.detected r.harmless r.silent
+      (String.concat ", " (List.map string_of_int r.silent_offsets))
+  in
+  Buffer.add_string b (tamper_json "tamper" tamper);
+  (match replica_tamper with
+  | None -> ()
+  | Some r ->
+      Buffer.add_string b ",\n";
+      Buffer.add_string b (tamper_json "replica_tamper" r));
+  Buffer.add_string b "\n}";
   Buffer.contents b

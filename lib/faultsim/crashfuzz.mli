@@ -68,15 +68,38 @@ val sweep_commit_flush :
     commit flush — any fragment-suffix loss must recover as an ordinary
     torn tail. *)
 
+val sweep_replica :
+  ?progress:(int -> int -> unit) -> trace:trace_cfg -> seeds:int -> stride:int -> unit -> crash_report
+(** Replication-ingest sweep: build a primary archive (full, incrementals,
+    a mid-sequence full, more incrementals), then replay it into a fresh
+    follower through {!Tdb_backup.Backup_store.apply_stream} and crash the
+    follower's database and counter stores at every write/sync boundary of
+    the ingest. The oracle enforces the staged-apply guarantee: the
+    recovered follower must sit at exactly the backup boundary before or
+    after the stream being applied — chain state and chunk contents
+    agreeing — and the remaining streams must then re-apply to
+    convergence with the primary. *)
+
 val sweep_tamper : ?stride:int -> ?mask:int -> trace:trace_cfg -> unit -> tamper_report
 (** Build a committed image from the trace, then XOR [mask] into every
     [stride]-th byte (one at a time): each flip must be detected
     ([Tamper_detected] / [Recovery_failed]) or harmless (all reads return
     the original values) — never silently wrong data. *)
 
+val sweep_replica_tamper : ?stride:int -> ?mask:int -> trace:trace_cfg -> unit -> tamper_report
+(** Stream-tamper sweep for replication: XOR [mask] into every
+    [stride]-th byte of each primary archive stream (and truncate each
+    stream at four prefix lengths) before feeding it to a follower
+    positioned just before that stream. Every damaged frame must be
+    rejected with the follower still readable at its previous boundary,
+    after which the genuine sequence must still apply to convergence —
+    never silently wrong data. *)
+
 val json_summary :
   ?group_commit:crash_report ->
   ?commit_flush:crash_report ->
+  ?replica:crash_report ->
+  ?replica_tamper:tamper_report ->
   trace:trace_cfg ->
   crash:crash_report ->
   tamper:tamper_report ->
@@ -84,4 +107,5 @@ val json_summary :
   string
 (** Machine-readable summary for the [tdb_crashfuzz] CLI.
     [group_commit], when present, is the {!sweep_group_commit} report;
-    [commit_flush] the {!sweep_commit_flush} report. *)
+    [commit_flush] the {!sweep_commit_flush} report; [replica] the
+    {!sweep_replica} report and [replica_tamper] its tamper companion. *)

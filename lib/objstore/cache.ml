@@ -114,6 +114,17 @@ let update_size t (e : entry) ~(size : int) =
   e.size <- size;
   evict_until_within t
 
+(** Drop every entry (replication ingest rewrites chunks underneath the
+    cache, so nothing cached can be trusted afterwards). Callers must
+    ensure no entry is pinned — a pinned entry here would mean a live
+    transaction spans the ingest, which the quiesce check forbids. *)
+let drop_all t : unit =
+  Hashtbl.iter (fun _ e -> if e.pins > 0 then invalid_arg "Cache.drop_all: pinned entry") t.table;
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None;
+  t.total_size <- 0
+
 let stats t = (t.hits, t.misses, t.evictions)
 let resident t = Hashtbl.length t.table
 let total_size t = t.total_size

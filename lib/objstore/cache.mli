@@ -29,6 +29,10 @@ val unpin : t -> entry -> unit
 val remove : t -> int -> unit
 (** Drop outright (transaction abort evicts its dirty objects). *)
 
+val drop_all : t -> unit
+(** Drop every entry (after a replication ingest rewrites the chunks
+    underneath). @raise Invalid_argument if any entry is pinned. *)
+
 val update_size : t -> entry -> size:int -> unit
 val stats : t -> int * int * int
 (** (hits, misses, evictions). *)

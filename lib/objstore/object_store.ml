@@ -119,6 +119,33 @@ let of_chunk_store ?(config = default_config) (cs : Chunk_store.t) : t =
 
 let chunk_store t = t.cs
 let held_count t = with_mu t (fun () -> Lock_manager.held_count t.locks)
+
+(** Run [f] on the underlying chunk store while holding the state mutex,
+    serializing it against every transaction. The backup/publish path uses
+    this: snapshot creation, archive emission and chain-state commits must
+    not interleave with a transaction's own commit. [f] must not call back
+    into this object store (the mutex is not reentrant). *)
+let with_store t (f : Chunk_store.t -> 'a) : 'a = with_mu t (fun () -> f t.cs)
+
+(** Replication ingest hook: run [f] (which may rewrite the store
+    arbitrarily, e.g. {!Tdb_backup.Backup_store.apply_stream}) only when
+    no transaction is in flight, then discard the object cache and reload
+    the named-roots catalog — both may be invalidated by what [f] applied.
+    Returns [None] without running [f] if any lock is held (the caller
+    retries on its next tick); 2PL plus this quiesce check is what keeps
+    follower reads serializable across ingested snapshots. *)
+let ingest t (f : Chunk_store.t -> 'a) : 'a option =
+  with_mu t (fun () ->
+      if Lock_manager.held_count t.locks > 0 then None
+      else begin
+        let r = f t.cs in
+        Cache.drop_all t.cache;
+        t.roots <-
+          (match Chunk_store.read t.cs catalog_cid with
+          | s -> decode_roots s
+          | exception Types.Not_written _ -> []);
+        Some r
+      end)
 let close t = with_mu t (fun () -> Chunk_store.close t.cs)
 let checkpoint t = with_mu t (fun () -> Chunk_store.checkpoint t.cs)
 let cache_stats t = Cache.stats t.cache

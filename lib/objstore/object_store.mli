@@ -64,6 +64,19 @@ val held_count : t -> int
     transaction is active (observable lock hygiene, e.g. after a network
     session dies). *)
 
+val with_store : t -> (Tdb_chunk.Chunk_store.t -> 'a) -> 'a
+(** Run [f] on the underlying chunk store under the store's state mutex,
+    serialized against every transaction — the backup/publish path (snapshot
+    creation, archive emission, chain-state commits). [f] must not call
+    back into this object store. *)
+
+val ingest : t -> (Tdb_chunk.Chunk_store.t -> 'a) -> 'a option
+(** Replication ingest hook: run [f] (which may rewrite the store
+    arbitrarily, e.g. an applied backup stream) only when no transaction
+    holds a lock, then drop the object cache and reload the named-roots
+    catalog, both of which [f] may have invalidated. [None] = not
+    quiesced; retry later. *)
+
 val get_root : t -> string -> oid option
 (** Committed value of a named root. *)
 

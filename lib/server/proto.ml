@@ -17,7 +17,7 @@ exception Proto_error of string
 (** Malformed frame, unknown opcode, version mismatch, or oversized
     payload. *)
 
-let version = 3
+let version = 4
 let magic = "TDB\001"
 
 let default_max_frame = 4 * 1024 * 1024
@@ -48,6 +48,11 @@ type request =
   | Coll_size of { coll : string }
   | Stats
   | Bye
+  | Subscribe of { r_last_id : int; r_chain : string }
+      (** switch the connection to publish mode: stream archive frames
+          starting after the subscriber's chain position (its persisted
+          backup chain state). The publisher treats both fields as
+          untrusted hints — frames are verified by the subscriber. *)
 
 type stats = {
   s_sessions : int;  (** sessions currently connected *)
@@ -66,6 +71,9 @@ type stats = {
   s_par_batches : int;  (** batches fanned out over the domain pool *)
   s_par_tasks : int;  (** items executed through the pool *)
   s_par_wait_us : int;  (** coordinator µs parked waiting on pool workers *)
+  s_backup_last_id : int;  (** backup/replication chain position (0 = none) *)
+  s_backup_base_snapshot : int;  (** snapshot the next incremental diffs against; -1 = none *)
+  s_backup_chain : string;  (** current backup hash-chain value ("" = never attached) *)
 }
 
 type response =
@@ -79,6 +87,12 @@ type response =
   | Ok_int of int
   | Ok_stats of stats
   | Error_ of { tag : string; msg : string }
+  | Rep_frame of { f_name : string; f_stream : string }
+      (** one archive stream (a sealed, MAC'd backup frame, opaque here) *)
+  | Rep_heartbeat of { h_last_id : int; h_seq : int; h_counter : int64 }
+      (** publisher position: newest archive id, the store's commit
+          sequence and one-way counter — what follower lag is measured
+          against *)
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -144,7 +158,11 @@ let encode_request (req : request) : string =
       P.byte w 14;
       P.string w coll
   | Stats -> P.byte w 15
-  | Bye -> P.byte w 16);
+  | Bye -> P.byte w 16
+  | Subscribe { r_last_id; r_chain } ->
+      P.byte w 17;
+      P.uint w r_last_id;
+      P.string w r_chain);
   P.contents w
 
 let decode_request (payload : string) : request =
@@ -199,6 +217,10 @@ let decode_request (payload : string) : request =
     | 14 -> Coll_size { coll = P.read_string r }
     | 15 -> Stats
     | 16 -> Bye
+    | 17 ->
+        let r_last_id = P.read_uint r in
+        let r_chain = P.read_string r in
+        Subscribe { r_last_id; r_chain }
     | op -> raise (Proto_error (Printf.sprintf "unknown request opcode %d" op))
   in
   P.expect_end r;
@@ -246,11 +268,23 @@ let encode_response (resp : response) : string =
       P.uint w s.s_domains;
       P.uint w s.s_par_batches;
       P.uint w s.s_par_tasks;
-      P.uint w s.s_par_wait_us
+      P.uint w s.s_par_wait_us;
+      P.uint w s.s_backup_last_id;
+      P.int w s.s_backup_base_snapshot;
+      P.string w s.s_backup_chain
   | Error_ { tag; msg } ->
       P.byte w 9;
       P.string w tag;
-      P.string w msg);
+      P.string w msg
+  | Rep_frame { f_name; f_stream } ->
+      P.byte w 10;
+      P.string w f_name;
+      P.string w f_stream
+  | Rep_heartbeat { h_last_id; h_seq; h_counter } ->
+      P.byte w 11;
+      P.uint w h_last_id;
+      P.uint w h_seq;
+      P.int64 w h_counter);
   P.contents w
 
 let decode_response (payload : string) : response =
@@ -282,6 +316,9 @@ let decode_response (payload : string) : response =
         let s_par_batches = P.read_uint r in
         let s_par_tasks = P.read_uint r in
         let s_par_wait_us = P.read_uint r in
+        let s_backup_last_id = P.read_uint r in
+        let s_backup_base_snapshot = P.read_int r in
+        let s_backup_chain = P.read_string r in
         Ok_stats
           {
             s_sessions;
@@ -300,11 +337,23 @@ let decode_response (payload : string) : response =
             s_par_batches;
             s_par_tasks;
             s_par_wait_us;
+            s_backup_last_id;
+            s_backup_base_snapshot;
+            s_backup_chain;
           }
     | 9 ->
         let tag = P.read_string r in
         let msg = P.read_string r in
         Error_ { tag; msg }
+    | 10 ->
+        let f_name = P.read_string r in
+        let f_stream = P.read_string r in
+        Rep_frame { f_name; f_stream }
+    | 11 ->
+        let h_last_id = P.read_uint r in
+        let h_seq = P.read_uint r in
+        let h_counter = P.read_int64 r in
+        Rep_heartbeat { h_last_id; h_seq; h_counter }
     | op -> raise (Proto_error (Printf.sprintf "unknown response opcode %d" op))
   in
   P.expect_end r;

@@ -38,6 +38,10 @@ type request =
   | Coll_size of { coll : string }
   | Stats
   | Bye
+  | Subscribe of { r_last_id : int; r_chain : string }
+      (** switch the connection to publish mode: stream archive frames
+          from after the subscriber's chain position. Both fields are
+          untrusted hints; the subscriber verifies every frame. *)
 
 type stats = {
   s_sessions : int;  (** sessions currently connected *)
@@ -56,6 +60,9 @@ type stats = {
   s_par_batches : int;  (** batches fanned out over the domain pool *)
   s_par_tasks : int;  (** items executed through the pool *)
   s_par_wait_us : int;  (** coordinator µs parked waiting on pool workers *)
+  s_backup_last_id : int;  (** backup/replication chain position (0 = none) *)
+  s_backup_base_snapshot : int;  (** snapshot the next incremental diffs against; -1 = none *)
+  s_backup_chain : string;  (** current backup hash-chain value ("" = never attached) *)
 }
 
 type response =
@@ -69,6 +76,11 @@ type response =
   | Ok_int of int
   | Ok_stats of stats
   | Error_ of { tag : string; msg : string }
+  | Rep_frame of { f_name : string; f_stream : string }
+      (** one archive stream (sealed, MAC'd backup frame — opaque here) *)
+  | Rep_heartbeat of { h_last_id : int; h_seq : int; h_counter : int64 }
+      (** publisher position: newest archive id, commit sequence, one-way
+          counter — what follower lag is measured against *)
 
 val encode_request : request -> string
 

@@ -38,9 +38,21 @@ type config = {
   group_commit : bool;  (** coalesce durable commits into shared barriers *)
   idle_timeout : float;  (** seconds of silence before a session is dropped; 0 = never *)
   max_frame : int;
+  read_only : bool;
+      (** replication-follower mode: mutating requests and durable commits
+          are refused with a typed ["read_only"] error; sessions read at
+          the follower's restored snapshot *)
+  publish_poll : float;  (** publisher idle poll interval, seconds *)
 }
 
-let default_config = { group_commit = true; idle_timeout = 0.; max_frame = Proto.default_max_frame }
+let default_config =
+  {
+    group_commit = true;
+    idle_timeout = 0.;
+    max_frame = Proto.default_max_frame;
+    read_only = false;
+    publish_poll = 0.05;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Exposure registries                                                 *)
@@ -66,6 +78,9 @@ type t = {
   os : Object_store.t;
   cfg : config;
   gc : Group_commit.t option;
+  backups : Tdb_backup.Backup_store.t option;
+      (** archive this server publishes (and, when
+          [Config.replica_interval_commits > 0], auto-extends) *)
   classes : (string, packed_class) Hashtbl.t;
   colls : (string, exposure) Hashtbl.t;
   listen_fd : Unix.file_descr;
@@ -80,6 +95,8 @@ type t = {
   mutable aborted : int;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
+  mutable commits_since_emit : int;  (** durable commits since the last auto-emitted incremental *)
+  mutable emitting : bool;  (** one session at a time runs the emission *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -101,7 +118,13 @@ let listen_on (addr : addr) : Unix.file_descr * string option =
       Unix.listen fd 64;
       (fd, None)
 
-let create ?(config = default_config) (os : Object_store.t) (addr : addr) : t =
+(* Streaming writers (publisher frames, heartbeats) can hit a peer that
+   closed mid-stream; take the EPIPE as a Unix_error, not a fatal signal. *)
+let ignore_sigpipe () =
+  match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with () -> () | exception Invalid_argument _ -> ()
+
+let create ?(config = default_config) ?backups (os : Object_store.t) (addr : addr) : t =
+  ignore_sigpipe ();
   let listen_fd, sock_path = listen_on addr in
   let gc =
     if config.group_commit then
@@ -112,6 +135,7 @@ let create ?(config = default_config) (os : Object_store.t) (addr : addr) : t =
     os;
     cfg = config;
     gc;
+    backups;
     classes = Hashtbl.create 16;
     colls = Hashtbl.create 16;
     listen_fd;
@@ -126,6 +150,8 @@ let create ?(config = default_config) (os : Object_store.t) (addr : addr) : t =
     aborted = 0;
     stopping = false;
     accept_thread = None;
+    commits_since_emit = 0;
+    emitting = false;
   }
 
 let port (t : t) : int =
@@ -220,6 +246,9 @@ let coll_handle (t : t) (ct : Cstore.t) (e : exposure) : exposure =
     match
       if Cstore.collection_exists ct ~name:ex.e_name then
         Cstore.open_collection ~indexers:ex.e_indexers ct ~name:ex.e_name ~schema:ex.e_schema
+      else if t.cfg.read_only then
+        (* a follower only serves what replication has delivered *)
+        reject "read_only" "collection %S has not been replicated to this follower yet" ex.e_name
       else begin
         match ex.e_indexers with
         | [] -> reject "not_exposed" "collection %S has no indexers" ex.e_name
@@ -255,7 +284,58 @@ let with_exact (type a k) ct (coll : a Cstore.collection) (ix : (a, k) Indexer.t
 
 let pack (type a) (schema : a Obj_class.t) (v : a) : string = Obj_class.pickle_value schema v
 
+(* Follower mode: refuse anything that could change the store. Nondurable
+   commit of a read-only transaction stays allowed — it writes nothing and
+   is how a read session ends cleanly. *)
+let check_read_only (t : t) (req : Proto.request) : unit =
+  if t.cfg.read_only then
+    match req with
+    | Proto.Set_root _ | Proto.Insert _ | Proto.Update _ | Proto.Remove _ | Proto.Coll_insert _
+    | Proto.Coll_mutate _ ->
+        reject "read_only" "this server is a replication follower: writes are refused"
+    | Proto.Commit { durable = true } ->
+        reject "read_only"
+          "this server is a replication follower: durable commit refused (commit nondurably or abort)"
+    | _ -> ()
+
+(* Primary-side auto-emission: every [replica_interval_commits] durable
+   commits, extend the archive with an incremental backup. The counter and
+   a single-emitter election run under [t.mu]; the emission itself runs
+   outside it (it takes the object store's state mutex via [with_store]). *)
+let maybe_emit_incremental (t : t) : unit =
+  match t.backups with
+  | None -> ()
+  | Some bs ->
+      let interval =
+        (Tdb_chunk.Chunk_store.config (Object_store.chunk_store t.os)).Tdb_chunk.Config
+        .replica_interval_commits
+      in
+      if interval > 0 then begin
+        Mutex.lock t.mu;
+        t.commits_since_emit <- t.commits_since_emit + 1;
+        let due = t.commits_since_emit >= interval && not t.emitting in
+        if due then begin
+          t.emitting <- true;
+          t.commits_since_emit <- 0
+        end;
+        Mutex.unlock t.mu;
+        if due then
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock t.mu;
+              t.emitting <- false;
+              Mutex.unlock t.mu)
+            (fun () ->
+              match Object_store.with_store t.os (fun _cs -> Tdb_backup.Backup_store.backup_incremental bs) with
+              | (_ : int) -> ()
+              | exception e ->
+                  (* emission is best-effort: the commit that triggered it
+                     already succeeded, and the next interval retries *)
+                  prerr_endline ("tdb_server: backup auto-emission failed: " ^ Printexc.to_string e))
+      end
+
 let handle_request (t : t) (s : session) (req : Proto.request) : Proto.response =
+  check_read_only t req;
   match req with
   | Proto.Hello { r_magic; r_version } ->
       if not (String.equal r_magic Proto.magic) then reject "proto" "bad magic";
@@ -281,6 +361,7 @@ let handle_request (t : t) (s : session) (req : Proto.request) : Proto.response 
       Mutex.lock t.mu;
       t.committed <- t.committed + 1;
       Mutex.unlock t.mu;
+      if durable then maybe_emit_incremental t;
       Proto.Ok_unit
   | Proto.Abort ->
       let ct = require_txn s in
@@ -435,8 +516,15 @@ let handle_request (t : t) (s : session) (req : Proto.request) : Proto.response 
           s_par_batches = st.Tdb_chunk.Chunk_store.par_batches;
           s_par_tasks = st.Tdb_chunk.Chunk_store.par_tasks;
           s_par_wait_us = st.Tdb_chunk.Chunk_store.par_wait_ns / 1000;
+          s_backup_last_id = st.Tdb_chunk.Chunk_store.backup_last_id;
+          s_backup_base_snapshot = st.Tdb_chunk.Chunk_store.backup_base_snapshot;
+          s_backup_chain = st.Tdb_chunk.Chunk_store.backup_chain;
         }
   | Proto.Bye -> Proto.Ok_unit
+  | Proto.Subscribe _ ->
+      (* reached only when the session loop could not switch this
+         connection into publish mode *)
+      reject "no_archive" "this server has no archive attached to publish"
 
 (* Abort the session's transaction, if any, counting it. *)
 let abort_session_txn (t : t) (s : session) : unit =
@@ -487,6 +575,90 @@ let respond (t : t) (s : session) (req : Proto.request) : Proto.response =
   | exception Failure msg -> Proto.Error_ { tag = "failed"; msg }
 
 (* ------------------------------------------------------------------ *)
+(* Publisher                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* After a [Subscribe], the connection becomes a one-way archive feed:
+   [Rep_frame]s in backup-id order, a [Rep_heartbeat] after every batch
+   (and on idle ticks, as the liveness/lag signal), until the subscriber
+   disconnects or the server stops.
+
+   The publisher trusts nothing from the subscriber. Its position
+   [(r_last_id, r_chain)] is only a cursor hint: if it claims our exact
+   position but its chain value differs, or claims to be ahead of us, it
+   has diverged and is restarted from the newest full. A subscriber whose
+   stale chain we *cannot* detect simply fails verification on its own
+   side and re-subscribes from genesis. Archive reads run under the object
+   store's state mutex (serialized against emissions); socket writes
+   happen outside every lock. *)
+let publish_loop (t : t) (s : session) (bs : Tdb_backup.Backup_store.t) ~(sub_last_id : int)
+    ~(sub_chain : string) : unit =
+  let module B = Tdb_backup.Backup_store in
+  let archive = B.archive bs in
+  let cursor = ref sub_last_id in
+  let first = ref true in
+  let stopping () =
+    Mutex.lock t.mu;
+    let v = t.stopping in
+    Mutex.unlock t.mu;
+    v
+  in
+  while not (stopping ()) do
+    let frames, hb =
+      Object_store.with_store t.os (fun cs ->
+          let st = B.chain_state bs in
+          let index =
+            Tdb_platform.Archival_store.list archive
+            |> List.filter_map (fun name ->
+                   match B.parse_name name with Some (id, k) -> Some (id, k, name) | None -> None)
+            |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+          in
+          let newest_full =
+            List.fold_left
+              (fun acc (id, k, _) -> match k with `Full -> max acc id | `Incremental -> acc)
+              0 index
+          in
+          if !first then begin
+            first := false;
+            if
+              !cursor > st.last_id
+              || (Int.equal !cursor st.last_id && not (Tdb_crypto.Ct.equal_string sub_chain st.chain))
+            then cursor := max 0 (newest_full - 1)
+          end;
+          (* a subscriber behind the newest full can only catch up from
+             that full: incrementals below it chain from a history the
+             archive may no longer hold *)
+          if newest_full > !cursor + 1 then cursor := newest_full - 1;
+          let to_send =
+            List.filter_map
+              (fun (id, _, name) ->
+                if id > !cursor then
+                  match Tdb_platform.Archival_store.get archive ~name with
+                  | Some stream -> Some (id, name, stream)
+                  | None -> None
+                else None)
+              index
+          in
+          let hb =
+            Proto.Rep_heartbeat
+              {
+                h_last_id = st.last_id;
+                h_seq = Tdb_chunk.Chunk_store.commit_seq cs;
+                h_counter = Tdb_chunk.Chunk_store.counter_value cs;
+              }
+          in
+          (to_send, hb))
+    in
+    List.iter
+      (fun (id, name, stream) ->
+        Proto.write_frame s.s_fd (Proto.encode_response (Proto.Rep_frame { f_name = name; f_stream = stream }));
+        cursor := max !cursor id)
+      frames;
+    Proto.write_frame s.s_fd (Proto.encode_response hb);
+    match frames with [] -> Thread.delay t.cfg.publish_poll | _ :: _ -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Session loop                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -503,9 +675,15 @@ let session_loop (t : t) (s : session) : unit =
     Unix.setsockopt_float s.s_fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
   let rec loop () =
     let req = Proto.decode_request (Proto.read_frame ~max_frame:t.cfg.max_frame s.s_fd) in
-    let resp = respond t s req in
-    Proto.write_frame s.s_fd (Proto.encode_response resp);
-    match req with Proto.Bye -> () | _ -> loop ()
+    match (req, t.backups) with
+    | Proto.Subscribe { r_last_id; r_chain }, Some bs ->
+        (* mode switch: this connection is now a publish feed and never
+           returns to request/response *)
+        publish_loop t s bs ~sub_last_id:r_last_id ~sub_chain:r_chain
+    | _ ->
+        let resp = respond t s req in
+        Proto.write_frame s.s_fd (Proto.encode_response resp);
+        (match req with Proto.Bye -> () | _ -> loop ())
   in
   Fun.protect
     ~finally:(fun () -> finish_session t s)

@@ -23,16 +23,31 @@ type config = {
   group_commit : bool;  (** coalesce durable commits into shared barriers *)
   idle_timeout : float;  (** seconds of silence before a session is dropped; 0 = never *)
   max_frame : int;
+  read_only : bool;
+      (** replication-follower mode: writes and durable commits are
+          refused with a typed ["read_only"] error; reads serve the
+          follower's restored snapshot (nondurable commit stays allowed so
+          read sessions end cleanly) *)
+  publish_poll : float;  (** publisher idle poll interval, seconds *)
 }
 
 val default_config : config
-(** group commit on, no idle timeout, {!Proto.default_max_frame}. *)
+(** group commit on, no idle timeout, {!Proto.default_max_frame},
+    writable, 50 ms publish poll. *)
 
 type t
 
-val create : ?config:config -> Tdb_objstore.Object_store.t -> addr -> t
+val create :
+  ?config:config -> ?backups:Tdb_backup.Backup_store.t -> Tdb_objstore.Object_store.t -> addr -> t
 (** Bind and listen. The server does not own the store's lifecycle: close
-    it yourself after {!stop}. *)
+    it yourself after {!stop}.
+
+    [backups] attaches an archive: [Subscribe] connections become publish
+    feeds streaming its frames in backup-id order (heartbeats carry the
+    store's commit sequence and counter), and, when
+    {!Tdb_chunk.Config.t.replica_interval_commits} [> 0], every that-many
+    durable commits auto-emit an incremental backup. Without [backups],
+    [Subscribe] is refused with a typed ["no_archive"] error. *)
 
 val port : t -> int
 (** The bound TCP port (use with [Tcp (host, 0)]).
