@@ -44,6 +44,17 @@ let json_of_result (r : Runner.result) : string =
     r.Runner.db_size r.Runner.live_bytes r.Runner.alloc_words_per_txn
     r.Runner.cache_hits r.Runner.cache_misses (Runner.hit_rate r)
 
+let json_of_shard_result (r : Runner.result) : string =
+  Printf.sprintf
+    "    { \"label\": %S, \"shards\": %d, \"txns\": %d, \"avg_ms\": %.4f, \"p95_ms\": %.4f,\n\
+    \      \"cpu_avg_ms\": %.4f, \"io_avg_ms\": %.4f, \"ops_per_s\": %.1f,\n\
+    \      \"cross_txn_fraction\": %.4f,\n\
+    \      \"bytes_per_txn\": %.1f, \"store_writes_per_txn\": %.2f, \"db_size\": %d }"
+    r.Runner.label r.Runner.shards r.Runner.txns r.Runner.avg_ms r.Runner.p95_ms r.Runner.cpu_avg_ms
+    r.Runner.io_avg_ms
+    (if r.Runner.avg_ms > 0. then 1000. /. r.Runner.avg_ms else 0.)
+    r.Runner.cross_txn_fraction r.Runner.bytes_per_txn r.Runner.store_writes_per_txn r.Runner.db_size
+
 let write_tpcb_json ~(scale_name : string) ~(idle : bool) (scale : Workload.scale)
     (results : Runner.result list) : unit =
   let body = String.concat ",\n" (List.map json_of_result results) in
@@ -291,6 +302,54 @@ let domains_sweep ?(json = false) (scale : Workload.scale) =
          body)
 
 (* ------------------------------------------------------------------ *)
+(* Shard sweep: TDB-S vs chunk-store shard width (Config.shards)       *)
+(* ------------------------------------------------------------------ *)
+
+let shards_sweep ?(json = false) ?(widths = [ 1; 2; 4 ]) ~(scale_name : string)
+    (scale : Workload.scale) =
+  Printf.printf "== TDB-S vs chunk-store shard width (Config.shards) ==\n\n";
+  Printf.printf
+    "(branch-partitioned TPC-B with branch-affine inputs at every width, so the\n\
+    \ ~15%% remote-account rate — the cross-shard 2PC fraction — is comparable;\n\
+    \ on one simulated disk sharding adds 2PC log forces without adding\n\
+    \ bandwidth, so expect a slowdown here: see EXPERIMENTS.md)\n\n";
+  let results =
+    List.map
+      (fun w ->
+        let r = Runner.run_tdb ~security:true ~idle_every:500 ~shards:w ~affine:true scale in
+        let r = { r with Runner.label = (if w = 1 then "tdbs" else Printf.sprintf "tdbs/s%d" w) } in
+        Printf.printf "  [done] %s  cross %.1f%%\n%!"
+          (Format.asprintf "%a" Runner.pp_result r)
+          (100. *. r.Runner.cross_txn_fraction);
+        (w, r))
+      widths
+  in
+  Printf.printf "\n%-8s %10s %12s %12s %12s\n" "shards" "avg ms" "ops/s" "cross txn" "vs s1";
+  (match results with
+  | (_, r1) :: _ ->
+      List.iter
+        (fun (w, r) ->
+          Printf.printf "%-8d %10.3f %12.1f %11.1f%% %9.2fx\n" w r.Runner.avg_ms
+            (if r.Runner.avg_ms > 0. then 1000. /. r.Runner.avg_ms else 0.)
+            (100. *. r.Runner.cross_txn_fraction)
+            (if r.Runner.avg_ms > 0. then r1.Runner.avg_ms /. r.Runner.avg_ms else 0.))
+        results
+  | [] -> ());
+  Printf.printf "\n";
+  if json then
+    let body = String.concat ",\n" (List.map (fun (_, r) -> json_of_shard_result r) results) in
+    write_file "BENCH_SHARDS.json"
+      (Printf.sprintf
+         "{\n\
+         \  \"bench\": \"shards\",\n\
+         \  \"scale\": %S,\n\
+         \  \"widths\": [%s],\n\
+         \  \"systems\": [\n%s\n  ]\n}\n"
+         scale_name
+         (String.concat ", " (List.map string_of_int (List.map fst results)))
+         body)
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -418,7 +477,7 @@ let replica_one ~every ~accounts ~txns : replica_row =
              ~arg:(fun w -> Tdb.Pickle.int w 7));
         Tdb.Client.commit ~durable:true c;
         let lag =
-          max 0 (Tdb.Chunk_store.commit_seq pdb.Tdb.chunks - (Tdb.Replica.status rep).Tdb.Replica.applied_seq)
+          max 0 (Tdb.Shard_store.commit_seq pdb.Tdb.chunks - (Tdb.Replica.status rep).Tdb.Replica.applied_seq)
         in
         lag_sum := !lag_sum + lag;
         if lag > !lag_max then lag_max := lag
@@ -487,13 +546,14 @@ let replica_bench ?(json = false) () =
 
 let usage () =
   print_endline
-    "usage: bench/main.exe [all|footprint|tpcb|utilization|micro|ablation|server|domains|replica] \
-     [--scale quick|default|paper] [--no-idle] [--json]";
+    "usage: bench/main.exe [all|footprint|tpcb|utilization|micro|ablation|server|domains|shards|replica] \
+     [--scale quick|default|paper] [--no-idle] [--json] [--shards 1,2,4]";
   exit 1
 
 let () =
   let args = match Array.to_list Sys.argv with _exe :: rest -> rest | [] -> [] in
   let scale = ref "default" and idle = ref true and json = ref false and cmds = ref [] in
+  let shard_widths = ref None in
   let rec parse = function
     | [] -> ()
     | "--scale" :: v :: rest ->
@@ -505,6 +565,9 @@ let () =
     | "--json" :: rest ->
         json := true;
         parse rest
+    | "--shards" :: v :: rest ->
+        shard_widths := Some (List.map int_of_string (String.split_on_char ',' v));
+        parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | c :: rest ->
         cmds := c :: !cmds;
@@ -515,8 +578,13 @@ let () =
   let scale_name = !scale in
   let scale = pick_scale scale_name in
   let tpcb () =
-    let rs = figure10 ~idle:!idle scale in
-    if !json then write_tpcb_json ~scale_name ~idle:!idle scale rs
+    (* `tpcb --shards 1,2,4` runs the shard-width sweep instead of the
+       three-system Figure 10 comparison *)
+    match !shard_widths with
+    | Some widths -> shards_sweep ~json:!json ~widths ~scale_name scale
+    | None ->
+        let rs = figure10 ~idle:!idle scale in
+        if !json then write_tpcb_json ~scale_name ~idle:!idle scale rs
   in
   let micro_bench () =
     let rs = micro () in
@@ -538,6 +606,8 @@ let () =
       | "ablation" -> ablation scale
       | "server" -> server_bench ()
       | "domains" -> domains_sweep ~json:!json scale
+      | "shards" ->
+          shards_sweep ~json:!json ?widths:!shard_widths ~scale_name scale
       | "replica" -> replica_bench ~json:!json ()
       | _ -> usage ())
     cmds

@@ -18,14 +18,19 @@ let human_bytes n =
 (* --- init --- *)
 
 let init_cmd =
-  let run dir =
-    let device = Tdb.Device.at_dir dir in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+           ~doc:"Partition the store into $(docv) shards, each with its own log, anchor and counter (default: \\$TDB_SHARDS or 1).")
+  in
+  let run dir shards =
+    let device = Tdb.Device.at_dir ?shards dir in
     let db = Tdb.create device in
+    let n = Tdb.Shard_store.shards db.Tdb.chunks in
     Tdb.close db;
-    Printf.printf "initialized TDB database in %s\n" dir
+    Printf.printf "initialized TDB database in %s (%d shard%s)\n" dir n (if n = 1 then "" else "s")
   in
   Cmd.v (Cmd.info "init" ~doc:"Create a fresh database (overwrites any existing one).")
-    Term.(const run $ dir_arg)
+    Term.(const run $ dir_arg $ shards)
 
 (* --- status --- *)
 
@@ -33,15 +38,29 @@ let status_cmd =
   let run dir =
     let db = open_db dir in
     let cs = db.Tdb.chunks in
-    let st = Tdb.Chunk_store.stats cs in
+    let st = Tdb.Shard_store.stats cs in
     Printf.printf "database:     %s\n" dir;
-    Printf.printf "security:     %s\n" (if Tdb.Chunk_store.security_enabled cs then "on (encrypted, tamper-evident)" else "off");
-    Printf.printf "live data:    %s\n" (human_bytes (Tdb.Chunk_store.live_bytes cs));
+    Printf.printf "security:     %s\n" (if Tdb.Shard_store.security_enabled cs then "on (encrypted, tamper-evident)" else "off");
+    Printf.printf "live data:    %s\n" (human_bytes (Tdb.Shard_store.live_bytes cs));
     Printf.printf "capacity:     %s (utilization %.0f%%)\n"
-      (human_bytes (Tdb.Chunk_store.capacity cs))
-      (100. *. Tdb.Chunk_store.utilization cs);
-    Printf.printf "store size:   %s\n" (human_bytes (Tdb.Chunk_store.store_size cs));
-    Printf.printf "counter:      %Ld\n" (Tdb.One_way_counter.read db.Tdb.device.Tdb.Device.counter);
+      (human_bytes (Tdb.Shard_store.capacity cs))
+      (100. *. Tdb.Shard_store.utilization cs);
+    Printf.printf "store size:   %s\n" (human_bytes (Tdb.Shard_store.store_size cs));
+    let n = Tdb.Shard_store.shards cs in
+    if n > 1 then begin
+      Printf.printf "shards:       %d (%d cross-shard commits of %d)\n" n
+        (Tdb.Shard_store.cross_commits cs) (Tdb.Shard_store.txn_commits cs);
+      let counters = Tdb.Shard_store.shard_counters cs
+      and seqs = Tdb.Shard_store.shard_seqs cs
+      and sizes = Tdb.Shard_store.shard_sizes cs in
+      Array.iteri
+        (fun s c ->
+          Printf.printf "  shard %d:    counter %Ld, log tail seq %d, %s on disk\n" s c seqs.(s)
+            (human_bytes sizes.(s)))
+        counters;
+      Printf.printf "counter:      %Ld (sum of shard counters)\n" (Tdb.Shard_store.counter_value cs)
+    end
+    else Printf.printf "counter:      %Ld\n" (Tdb.One_way_counter.read db.Tdb.device.Tdb.Device.counter);
     Printf.printf "backups:      %s\n"
       (match Tdb.Archival_store.list db.Tdb.device.Tdb.Device.archive with
       | [] -> "(none)"
@@ -57,14 +76,15 @@ let status_cmd =
     Printf.printf "session:      %d commits, %d checkpoints, %d cleaning passes\n" st.Tdb.Chunk_store.commits
       st.Tdb.Chunk_store.checkpoints st.Tdb.Chunk_store.clean_passes;
     let ch = st.Tdb.Chunk_store.cache_hits and cm = st.Tdb.Chunk_store.cache_misses in
+    let sum f = Array.fold_left (fun acc s -> acc + f (Tdb.Shard_store.shard_store cs s)) 0 (Array.init n Fun.id) in
     Printf.printf "chunk cache:  %s of %s (%d chunks), %d hits / %d misses%s, %d evictions\n"
-      (human_bytes (Tdb.Chunk_store.cache_bytes cs))
-      (human_bytes (Tdb.Chunk_store.cache_budget cs))
-      (Tdb.Chunk_store.cache_resident cs) ch cm
+      (human_bytes (sum Tdb.Chunk_store.cache_bytes))
+      (human_bytes (sum Tdb.Chunk_store.cache_budget))
+      (sum Tdb.Chunk_store.cache_resident) ch cm
       (if ch + cm > 0 then Printf.sprintf " (%.0f%% hit)" (100. *. float_of_int ch /. float_of_int (ch + cm)) else "")
       st.Tdb.Chunk_store.cache_evictions;
     Printf.printf "parallelism:  %d domains, %d pool batches (%d tasks), %.1f ms waited\n"
-      (Tdb.Chunk_store.domains cs) st.Tdb.Chunk_store.par_batches st.Tdb.Chunk_store.par_tasks
+      (Tdb.Shard_store.domains cs) st.Tdb.Chunk_store.par_batches st.Tdb.Chunk_store.par_tasks
       (float_of_int st.Tdb.Chunk_store.par_wait_ns /. 1e6);
     Tdb.close db
   in
@@ -78,11 +98,11 @@ let verify_cmd =
     match
       let db = open_db dir in
       (* walk every chunk through the Merkle tree *)
-      let snap = Tdb.Chunk_store.snapshot db.Tdb.chunks in
+      let snap = Tdb.Shard_store.snapshot db.Tdb.chunks in
       let n =
-        Tdb.Chunk_store.fold_snapshot db.Tdb.chunks snap ~init:0 ~f:(fun acc _cid _data -> acc + 1)
+        Tdb.Shard_store.fold_snapshot db.Tdb.chunks snap ~init:0 ~f:(fun acc _cid _data -> acc + 1)
       in
-      Tdb.Chunk_store.release_snapshot db.Tdb.chunks snap;
+      Tdb.Shard_store.release_snapshot db.Tdb.chunks snap;
       Tdb.close db;
       n
     with
@@ -103,9 +123,9 @@ let verify_cmd =
 let clean_cmd =
   let run dir =
     let db = open_db dir in
-    let before = Tdb.Chunk_store.capacity db.Tdb.chunks in
+    let before = Tdb.Shard_store.capacity db.Tdb.chunks in
     Tdb.idle_maintenance db;
-    let after = Tdb.Chunk_store.capacity db.Tdb.chunks in
+    let after = Tdb.Shard_store.capacity db.Tdb.chunks in
     Printf.printf "cleaned: capacity %s -> %s\n" (human_bytes before) (human_bytes after);
     Tdb.close db
   in
@@ -207,11 +227,102 @@ let remote_status_cmd =
           (if s.Tdb.Proto.s_backup_last_id = 0 then "(none)"
            else
              Printf.sprintf "#%d, chain %s" s.Tdb.Proto.s_backup_last_id
-               (String.sub (Tdb.Crypto.Hex.of_string s.Tdb.Proto.s_backup_chain) 0 12)))
+               (String.sub (Tdb.Crypto.Hex.of_string s.Tdb.Proto.s_backup_chain) 0 12));
+        if s.Tdb.Proto.s_shards > 1 then begin
+          Printf.printf "shards:          %d (%d cross-shard commits of %d durable)\n"
+            s.Tdb.Proto.s_shards s.Tdb.Proto.s_cross_commits s.Tdb.Proto.s_durable_commits;
+          let seqs = Array.of_list s.Tdb.Proto.s_shard_seqs
+          and sizes = Array.of_list s.Tdb.Proto.s_shard_sizes
+          and barriers = Array.of_list s.Tdb.Proto.s_shard_barriers in
+          let nth a i = if i < Array.length a then a.(i) else 0 in
+          List.iteri
+            (fun i ctr ->
+              Printf.printf "  shard %d:       counter %Ld, log tail seq %d, %s on disk, %d barriers\n"
+                i ctr (nth seqs i)
+                (human_bytes (nth sizes i))
+                (nth barriers i))
+            s.Tdb.Proto.s_shard_counters
+        end)
   in
   Cmd.v
     (Cmd.info "remote-status" ~doc:"Print a running server's session, commit and group-commit counters.")
     Term.(const run $ addr_term)
+
+(* Remote point-in-time restore: pull the archive off a running server
+   and rebuild a local database from it. The streams are opaque sealed
+   frames — everything is re-verified locally under the operator's copy
+   of the device secret, so neither the server nor the wire is trusted. *)
+let remote_restore_cmd =
+  let dst = Arg.(required & pos 0 (some string) None & info [] ~docv:"TO" ~doc:"Destination directory for the restored database.") in
+  let upto = Arg.(value & opt (some int) None & info [ "upto" ] ~docv:"N" ~doc:"Restore only up to backup N (point-in-time).") in
+  let secret =
+    Arg.(value & opt (some string) None & info [ "secret" ] ~docv:"PATH"
+           ~doc:"Device secret file matching the server's (copied to TO/secret). The fetched streams are sealed under it; without the matching key the restore fails verification.")
+  in
+  let shards =
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N"
+           ~doc:"Shard width for the restored database (default: \\$TDB_SHARDS or 1; need not match the server's).")
+  in
+  let run addr dst upto secret shards =
+    if not (Sys.file_exists dst) then Unix.mkdir dst 0o700;
+    (match secret with
+    | None -> ()
+    | Some src_key ->
+        let dst_key = Filename.concat dst "secret" in
+        if not (Sys.file_exists dst_key) then begin
+          let ic = open_in_bin src_key in
+          let data = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o600 dst_key in
+          output_string oc data;
+          close_out oc
+        end);
+    let fetched =
+      with_client addr (fun c ->
+          match Tdb.Client.list_backups c with
+          | index ->
+              let index =
+                match upto with None -> index | Some n -> List.filter (fun (id, _) -> id <= n) index
+              in
+              List.map (fun (id, name) -> (id, name, Tdb.Client.fetch_backup c ~name)) index
+          | exception Tdb.Client.Server_error { tag; msg } ->
+              Printf.printf "server refused: %s (%s)\n" msg tag;
+              exit 2)
+    in
+    (match fetched with
+    | [] ->
+        Printf.printf "no backups on the server%s\n"
+          (match upto with None -> "" | Some n -> Printf.sprintf " at or below #%d" n);
+        exit 2
+    | _ :: _ -> ());
+    (* stage the streams into TO/backups so the local validated-restore
+       path (full + chained incrementals) runs over them unchanged *)
+    let bdir = Filename.concat dst "backups" in
+    if not (Sys.file_exists bdir) then Unix.mkdir bdir 0o700;
+    List.iter
+      (fun (_, name, stream) ->
+        let oc =
+          open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o600
+            (Filename.concat bdir (Filename.basename name))
+        in
+        output_string oc stream;
+        close_out oc)
+      fetched;
+    let device = Tdb.Device.at_dir ?shards dst in
+    match Tdb.restore ?upto ~from:device device with
+    | db ->
+        Printf.printf "fetched %d stream%s; restored into %s\n" (List.length fetched)
+          (match fetched with [ _ ] -> "" | _ -> "s")
+          dst;
+        Tdb.close db
+    | exception Tdb.Backup_store.Invalid_backup msg ->
+        Printf.printf "restore refused: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "remote-restore"
+       ~doc:"Fetch a running server's backup archive and restore it locally (newest, or --upto N).")
+    Term.(const run $ addr_term $ dst $ upto $ secret $ shards)
 
 let remote_balance_cmd =
   let account = Arg.(required & pos 0 (some int) None & info [] ~docv:"ACCOUNT" ~doc:"Account id.") in
@@ -324,4 +435,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "tdb" ~doc ~version:"0.1.0")
           [ init_cmd; status_cmd; verify_cmd; clean_cmd; backup_cmd; restore_cmd;
-            remote_status_cmd; remote_balance_cmd; remote_tpcb_cmd; remote_sum_cmd ]))
+            remote_status_cmd; remote_restore_cmd; remote_balance_cmd; remote_tpcb_cmd;
+            remote_sum_cmd ]))

@@ -17,6 +17,8 @@ let () =
   let no_gc = ref false in
   let no_flush = ref false in
   let no_replica = ref false in
+  let no_shard = ref false in
+  let shards = ref 0 in
   let seed = ref Tdb_faultsim.Crashfuzz.default_trace.Tdb_faultsim.Crashfuzz.seed in
   let spec =
     [
@@ -29,6 +31,8 @@ let () =
       ("--no-group-commit", Arg.Set no_gc, "  skip the group-commit (staged barrier) sweep");
       ("--no-commit-flush", Arg.Set no_flush, "  skip the coalesced commit-flush (fragment boundary) sweep");
       ("--no-replica", Arg.Set no_replica, "  skip the replication-ingest crash and stream-tamper sweeps");
+      ("--no-shard", Arg.Set no_shard, "  skip the cross-shard 2PC crash and tamper sweeps");
+      ("--shards", Arg.Set_int shards, "N  shard width for the 2PC sweep (default: max 2 TDB_SHARDS)");
       ("--json", Arg.Set json, "  emit the JSON summary on stdout");
       ("--quiet", Arg.Set quiet, "  no progress output");
     ]
@@ -77,6 +81,32 @@ let () =
       Some r
     end
   in
+  let shard_width = if !shards > 0 then Some !shards else None in
+  let shard_2pc =
+    if !no_shard then None
+    else begin
+      let r =
+        Tdb_faultsim.Crashfuzz.sweep_shard_2pc ~progress ?shards:shard_width ~trace ~seeds:!seeds
+          ~stride:!stride ()
+      in
+      if not !quiet then
+        Printf.eprintf "\rshard-2PC sweep done: %d runs over %d boundaries\n%!" r.runs r.boundaries;
+      Some r
+    end
+  in
+  let shard_tamper =
+    if !no_shard then None
+    else begin
+      let r =
+        Tdb_faultsim.Crashfuzz.sweep_shard_tamper ~stride:!tamper_stride ~mask:!mask ?shards:shard_width
+          ~trace ()
+      in
+      if not !quiet then
+        Printf.eprintf "shard tamper sweep done: %d flips (%d detected, %d harmless)\n%!" r.flips
+          r.detected r.harmless;
+      Some r
+    end
+  in
   let tamper = Tdb_faultsim.Crashfuzz.sweep_tamper ~stride:!tamper_stride ~mask:!mask ~trace () in
   if not !quiet then
     Printf.eprintf "tamper sweep done: %d flips (%d detected, %d harmless)\n%!" tamper.flips tamper.detected
@@ -84,10 +114,11 @@ let () =
   let gc_violations = match gc with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   let flush_violations = match flush with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   let replica_violations = match replica with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
+  let shard_violations = match shard_2pc with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   if !json then
     print_endline
       (Tdb_faultsim.Crashfuzz.json_summary ?group_commit:gc ?commit_flush:flush ?replica ?replica_tamper
-         ~trace ~crash ~tamper ())
+         ?shard_2pc ?shard_tamper ~trace ~crash ~tamper ())
   else begin
     Printf.printf "boundaries=%d crashpoints=%d seeds=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
       crash.boundaries crash.crashpoints crash.seeds crash.runs crash.crashes crash.recoveries
@@ -122,19 +153,34 @@ let () =
         Printf.printf "replica-tamper: flips=%d detected=%d harmless=%d silent=%d\n"
           r.Tdb_faultsim.Crashfuzz.flips r.Tdb_faultsim.Crashfuzz.detected
           r.Tdb_faultsim.Crashfuzz.harmless r.Tdb_faultsim.Crashfuzz.silent);
+    (match shard_2pc with
+    | None -> ()
+    | Some r ->
+        Printf.printf
+          "shard-2pc: boundaries=%d crashpoints=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
+          r.Tdb_faultsim.Crashfuzz.boundaries r.Tdb_faultsim.Crashfuzz.crashpoints
+          r.Tdb_faultsim.Crashfuzz.runs r.Tdb_faultsim.Crashfuzz.crashes r.Tdb_faultsim.Crashfuzz.recoveries
+          (List.length r.Tdb_faultsim.Crashfuzz.violations));
+    (match shard_tamper with
+    | None -> ()
+    | Some r ->
+        Printf.printf "shard-tamper: flips=%d detected=%d harmless=%d silent=%d\n"
+          r.Tdb_faultsim.Crashfuzz.flips r.Tdb_faultsim.Crashfuzz.detected
+          r.Tdb_faultsim.Crashfuzz.harmless r.Tdb_faultsim.Crashfuzz.silent);
     Printf.printf "tamper: flips=%d detected=%d harmless=%d silent=%d\n" tamper.flips tamper.detected
       tamper.harmless tamper.silent;
     List.iter
       (fun v ->
         Printf.printf "VIOLATION %s %s: %s\n" v.Tdb_faultsim.Crashfuzz.v_run v.Tdb_faultsim.Crashfuzz.v_kind
           v.Tdb_faultsim.Crashfuzz.v_detail)
-      (crash.violations @ gc_violations @ flush_violations @ replica_violations)
+      (crash.violations @ gc_violations @ flush_violations @ replica_violations @ shard_violations)
   end;
   let bad =
-    (match crash.violations @ gc_violations @ flush_violations @ replica_violations with
+    (match crash.violations @ gc_violations @ flush_violations @ replica_violations @ shard_violations with
     | [] -> false
     | _ :: _ -> true)
     || tamper.silent > 0
     || (match replica_tamper with None -> false | Some r -> r.Tdb_faultsim.Crashfuzz.silent > 0)
+    || (match shard_tamper with None -> false | Some r -> r.Tdb_faultsim.Crashfuzz.silent > 0)
   in
   exit (if bad then 1 else 0)

@@ -33,7 +33,7 @@ type header = { id : int; kind : kind; seq : int (* snapshot seq, informational 
 type chain_state = { last_id : int; chain : string; base_snapshot : int option }
 
 type t = {
-  cs : Chunk_store.t;
+  cs : Shard_store.t;
   archive : Tdb_platform.Archival_store.t;
   cipher : Tdb_crypto.Cbc.cipher;
   mac_key : string;
@@ -60,7 +60,7 @@ let decode_state (data : string) : chain_state =
   { last_id; chain; base_snapshot }
 
 let load_state t : chain_state =
-  match Chunk_store.read t.cs state_cid with
+  match Shard_store.read t.cs state_cid with
   | data -> decode_state data
   | exception Types.Not_written _ -> { last_id = 0; chain = "genesis"; base_snapshot = None }
 
@@ -68,20 +68,21 @@ let load_state t : chain_state =
    operators (tdb_cli status / remote-status) see the backup/replication
    position without opening the archive. *)
 let publish_stats t (s : chain_state) : unit =
-  let st = Chunk_store.stats t.cs in
+  (* shard 0's record: Shard_store.stats copies backup_* fields from it *)
+  let st = Chunk_store.stats (Shard_store.shard_store t.cs 0) in
   st.Chunk_store.backup_last_id <- s.last_id;
   st.Chunk_store.backup_chain <- s.chain;
   st.Chunk_store.backup_base_snapshot <- (match s.base_snapshot with Some v -> v | None -> -1)
 
 let save_state t (s : chain_state) : unit =
-  Chunk_store.write t.cs state_cid (encode_state s);
-  Chunk_store.commit ~durable:true t.cs;
+  Shard_store.write t.cs state_cid (encode_state s);
+  Shard_store.commit ~durable:true t.cs;
   publish_stats t s
 
 let chain_state t : chain_state = load_state t
 
 let create ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Archival_store.t)
-    (cs : Chunk_store.t) : t =
+    (cs : Shard_store.t) : t =
   let t =
     {
       cs;
@@ -211,17 +212,17 @@ let parse_name (name : string) : (int * [ `Full | `Incremental ]) option =
     id. *)
 let backup_full t : int =
   let st = load_state t in
-  let snap = Chunk_store.snapshot t.cs in
+  let snap = Shard_store.snapshot t.cs in
   let changed =
-    Chunk_store.fold_snapshot t.cs snap ~init:[] ~f:(fun acc cid data ->
+    Shard_store.fold_snapshot t.cs snap ~init:[] ~f:(fun acc cid data ->
         if Int.equal cid state_cid then acc else (cid, data) :: acc)
   in
   let id = st.last_id + 1 in
-  let header = { id; kind = Full; seq = Chunk_store.snapshot_seq t.cs snap } in
+  let header = { id; kind = Full; seq = Shard_store.snapshot_seq t.cs snap } in
   let body = encode_body ~changed:(List.rev changed) ~removed:[] in
   let stream, new_chain = frame t header body ~chain:"genesis" in
   Tdb_platform.Archival_store.put t.archive ~name:(name_of header) stream;
-  (match st.base_snapshot with Some old -> Chunk_store.release_snapshot t.cs old | None -> ());
+  (match st.base_snapshot with Some old -> Shard_store.release_snapshot t.cs old | None -> ());
   save_state t { last_id = id; chain = new_chain; base_snapshot = Some snap };
   id
 
@@ -232,17 +233,17 @@ let backup_incremental t : int =
   match st.base_snapshot with
   | None -> backup_full t
   | Some base ->
-      let snap = Chunk_store.snapshot t.cs in
+      let snap = Shard_store.snapshot t.cs in
       let changed = ref [] and removed = ref [] in
-      Chunk_store.diff_snapshots t.cs ~old_id:base ~new_id:snap
+      Shard_store.diff_snapshots t.cs ~old_id:base ~new_id:snap
         ~changed:(fun cid data -> if not (Int.equal cid state_cid) then changed := (cid, data) :: !changed)
         ~removed:(fun cid -> if not (Int.equal cid state_cid) then removed := cid :: !removed);
       let id = st.last_id + 1 in
-      let header = { id; kind = Incremental st.last_id; seq = Chunk_store.snapshot_seq t.cs snap } in
+      let header = { id; kind = Incremental st.last_id; seq = Shard_store.snapshot_seq t.cs snap } in
       let body = encode_body ~changed:(List.rev !changed) ~removed:(List.rev !removed) in
       let stream, new_chain = frame t header body ~chain:st.chain in
       Tdb_platform.Archival_store.put t.archive ~name:(name_of header) stream;
-      Chunk_store.release_snapshot t.cs base;
+      Shard_store.release_snapshot t.cs base;
       save_state t { last_id = id; chain = new_chain; base_snapshot = Some snap };
       id
 
@@ -275,7 +276,7 @@ let scan_archive ~(secret : Tdb_platform.Secret_store.t) (archive : Tdb_platform
     @raise Invalid_backup if no valid full backup exists, the sequence has
     gaps, or any chain value does not match. *)
 let restore ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Archival_store.t)
-    ?(upto : int option) ~(into : Chunk_store.t) () : int =
+    ?(upto : int option) ~(into : Shard_store.t) () : int =
   let backups = scan_archive ~secret archive in
   let limit = match upto with Some u -> u | None -> List.fold_left (fun m (h, _) -> max m h.id) 0 backups in
   let full =
@@ -290,17 +291,17 @@ let restore ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Arc
   if not (Tdb_crypto.Ct.equal_string expected full_p.p_chain) then invalid "full backup chain mismatch";
   let apply (p : parsed) =
     (match
-       List.iter (fun (cid, data) -> Chunk_store.restore_chunk into cid data) p.p_changed
+       List.iter (fun (cid, data) -> Shard_store.restore_chunk into cid data) p.p_changed
      with
     | () -> ()
     | exception Types.Chunk_too_large { cid; size; max } ->
         (* a decoded-but-impossible record: leave the target store clean *)
-        Chunk_store.abort_batch into;
+        Shard_store.abort_batch into;
         invalid "backup record for chunk %d is %d bytes (limit %d)" cid size max);
     List.iter
-      (fun cid -> match Chunk_store.deallocate into cid with () -> () | exception Types.Not_allocated _ -> ())
+      (fun cid -> match Shard_store.deallocate into cid with () -> () | exception Types.Not_allocated _ -> ())
       p.p_removed;
-    Chunk_store.commit ~durable:true into
+    Shard_store.commit ~durable:true into
   in
   apply full_p;
   let rec chain_through last_id chain applied =
@@ -329,7 +330,7 @@ let restore ~(secret : Tdb_platform.Secret_store.t) ~(archive : Tdb_platform.Arc
   in
   let incrementals = chain_through full_h.id full_p.p_chain 0 in
   ignore incrementals;
-  Chunk_store.checkpoint into;
+  Shard_store.checkpoint into;
   full_h.id + incrementals
 
 (* --- replication ingest --- *)
@@ -384,18 +385,18 @@ let apply_stream t (stream : string) : header =
          List.iter
            (fun cid ->
              if (not (Hashtbl.mem keep cid)) && not (Int.equal cid state_cid) then
-               match Chunk_store.deallocate t.cs cid with () -> () | exception Types.Not_allocated _ -> ())
-           (Chunk_store.live_ids t.cs)
+               match Shard_store.deallocate t.cs cid with () -> () | exception Types.Not_allocated _ -> ())
+           (Shard_store.live_ids t.cs)
      | Incremental _ -> ());
-     List.iter (fun (cid, data) -> Chunk_store.restore_chunk t.cs cid data) p.p_changed;
+     List.iter (fun (cid, data) -> Shard_store.restore_chunk t.cs cid data) p.p_changed;
      List.iter
-       (fun cid -> match Chunk_store.deallocate t.cs cid with () -> () | exception Types.Not_allocated _ -> ())
+       (fun cid -> match Shard_store.deallocate t.cs cid with () -> () | exception Types.Not_allocated _ -> ())
        p.p_removed
    with Types.Chunk_too_large { cid; size; max } ->
-     Chunk_store.abort_batch t.cs;
+     Shard_store.abort_batch t.cs;
      invalid "backup record for chunk %d is %d bytes (limit %d)" cid size max);
   let st' = { last_id = h.id; chain = p.p_chain; base_snapshot = None } in
-  Chunk_store.restore_chunk t.cs state_cid (encode_state st');
-  Chunk_store.commit ~durable:true t.cs;
+  Shard_store.restore_chunk t.cs state_cid (encode_state st');
+  Shard_store.commit ~durable:true t.cs;
   publish_stats t st';
   h

@@ -37,7 +37,7 @@ type chain_state = {
 val create :
   secret:Tdb_platform.Secret_store.t ->
   archive:Tdb_platform.Archival_store.t ->
-  Tdb_chunk.Chunk_store.t ->
+  Tdb_chunk.Shard_store.t ->
   t
 (** Also mirrors the persisted chain position into
     {!Tdb_chunk.Chunk_store.stats} ([backup_last_id] / [backup_chain] /
@@ -68,7 +68,7 @@ val restore :
   secret:Tdb_platform.Secret_store.t ->
   archive:Tdb_platform.Archival_store.t ->
   ?upto:int ->
-  into:Tdb_chunk.Chunk_store.t ->
+  into:Tdb_chunk.Shard_store.t ->
   unit ->
   int
 (** Validated restore into a {e fresh} chunk store: applies the newest full

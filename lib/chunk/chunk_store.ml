@@ -843,6 +843,9 @@ let release_snapshot t (id : int) : unit =
   checkpoint t
 
 let snapshot_seq t id = (find_snapshot t id).snap_seq
+let snapshot_ids t = List.sort Int.compare (List.map fst t.snapshots)
+let next_snapshot_id t = t.next_snap_id
+let align_snapshot_id t id = if id > t.next_snap_id then t.next_snap_id <- id
 
 let read_in_snapshot t (e : entry) : chunk_id * string =
   let plain = fetch t ~what:"snapshot chunk" e in

@@ -158,6 +158,21 @@ val snapshot : t -> int
 val release_snapshot : t -> int -> unit
 val snapshot_seq : t -> int -> int
 
+val snapshot_ids : t -> int list
+(** Ids of the currently pinned snapshots, ascending. The shard router
+    uses this at open to reconcile snapshots taken in lockstep across
+    shards (a crash between per-shard snapshot calls may leave one shard
+    with an extra pinned snapshot to release). *)
+
+val next_snapshot_id : t -> int
+(** The id the next {!snapshot} will return. *)
+
+val align_snapshot_id : t -> int -> unit
+(** Raise the next snapshot id to at least [id] (never lowers it). The
+    shard router aligns id generators after reconciling a torn lockstep
+    snapshot so subsequent snapshots keep returning equal ids on every
+    shard. *)
+
 val fold_snapshot : t -> int -> init:'a -> f:('a -> Types.chunk_id -> string -> 'a) -> 'a
 (** Iterate every chunk of a snapshot (validated + decrypted). *)
 

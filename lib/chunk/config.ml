@@ -50,7 +50,22 @@ type t = {
           replication stream without manual [backup_incremental] calls.
           0 disables auto-emission (the default, so standalone stores and
           benches are unchanged). [TDB_REPLICA_EVERY] overrides. *)
+  shards : int;
+      (** Number of independent chunk-store shards a {!Shard_store} router
+          composes: each shard has its own log, location map, anchor and
+          one-way counter, so single-shard commits never contend on
+          another shard's tail. 1 = a single spine, byte-compatible with
+          the unsharded store format. [TDB_SHARDS] overrides the
+          default. *)
 }
+
+let default_shards () =
+  match Sys.getenv_opt "TDB_SHARDS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 && n <= 64 -> n
+      | _ -> invalid_arg "TDB_SHARDS must be an integer in [1, 64]" )
+  | None -> 1
 
 let default_replica_interval () =
   match Sys.getenv_opt "TDB_REPLICA_EVERY" with
@@ -77,6 +92,7 @@ let default =
     chunk_cache_bytes = 1024 * 1024;
     domains = Tdb_parallel.Pool.default_domains ();
     replica_interval_commits = default_replica_interval ();
+    shards = default_shards ();
   }
 
 (** Largest chunk payload storable with this configuration (one record must
@@ -95,4 +111,5 @@ let validate (c : t) =
     invalid_arg "Config: checkpoint_residual_bytes must cover a few segments";
   if c.chunk_cache_bytes < 0 then invalid_arg "Config: chunk_cache_bytes negative";
   if c.domains < 1 || c.domains > 128 then invalid_arg "Config: domains out of [1, 128]";
-  if c.replica_interval_commits < 0 then invalid_arg "Config: replica_interval_commits negative"
+  if c.replica_interval_commits < 0 then invalid_arg "Config: replica_interval_commits negative";
+  if c.shards < 1 || c.shards > 64 then invalid_arg "Config: shards out of [1, 64]"

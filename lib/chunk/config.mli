@@ -53,11 +53,20 @@ type t = {
           incremental backup every this many durable commits (feeding the
           replication stream). 0 = off (the default); [TDB_REPLICA_EVERY]
           overrides the default. *)
+  shards : int;
+      (** Number of independent chunk-store shards a {!Shard_store} router
+          composes (each with its own log, location map, anchor and
+          one-way counter). 1 = single spine, byte-compatible with the
+          unsharded store format; [TDB_SHARDS] overrides the default. *)
 }
 
 val default : t
 (** Security on, Triple-AES + SHA-1 (the paper's TDB-S algorithm class),
     64 KiB segments, 60% maximum utilization. *)
+
+val default_shards : unit -> int
+(** The default shard count: [TDB_SHARDS] when set (validated to [1, 64]),
+    else 1. *)
 
 val max_chunk_size : t -> int
 (** Largest storable chunk payload (one record must fit in a segment). *)

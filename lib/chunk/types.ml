@@ -22,7 +22,8 @@ let entry_equal a b =
 
 (** Chunk ids [0, reserved_ids) are never handed out by [allocate]; upper
     layers claim them as well-known roots (0: backup-store state, 1:
-    object-store catalog). *)
+    object-store catalog; per shard under a {!Shard_store} router — 2:
+    cross-shard 2PC decision table, 3: 2PC participant status). *)
 let reserved_ids = 8
 
 exception Tamper_detected of string

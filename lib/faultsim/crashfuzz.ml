@@ -385,8 +385,9 @@ let add violations run kind detail = violations := { v_run = run; v_kind = kind;
 (* Does the recovered store hold exactly the chunk state [st]?  Every id
    ever used must either match [st] or be unreadable when absent from
    [st]; a [Tamper_detected] anywhere is reported upward (honest runs must
-   never see one). *)
-let state_matches cs st all_cids =
+   never see one). [read] abstracts the store so the same oracle serves
+   both a single chunk store and a shard router. *)
+let state_matches_read ~(read : int -> string) st all_cids =
   Hashtbl.fold
     (fun cid () acc ->
       match acc with
@@ -394,33 +395,37 @@ let state_matches cs st all_cids =
       | Ok true -> (
           match Hashtbl.find_opt st cid with
           | Some want -> (
-              match Chunk_store.read cs cid with
+              match read cid with
               | got -> Ok (String.equal got want)
               | exception Types.Not_written _ -> Ok false
               | exception Types.Not_allocated _ -> Ok false
               | exception Types.Tamper_detected m -> Error m)
           | None -> (
-              match Chunk_store.read cs cid with
+              match read cid with
               | _ -> Ok false
               | exception Types.Not_written _ -> Ok true
               | exception Types.Not_allocated _ -> Ok true
               | exception Types.Tamper_detected m -> Error m)))
     all_cids (Ok true)
 
+let state_matches cs st all_cids = state_matches_read ~read:(Chunk_store.read cs) st all_cids
+
 (* Try every admissible boundary, newest first. *)
-let match_candidates cs sh =
+let match_candidates_read ~read sh =
   let rec go d =
     if d < sh.durable_lo then Error "recovered state matches no admissible commit boundary"
     else
       match Hashtbl.find_opt sh.states d with
       | None -> go (d - 1)
       | Some st -> (
-          match state_matches cs st sh.all_cids with
+          match state_matches_read ~read st sh.all_cids with
           | Ok true -> Ok d
           | Ok false -> go (d - 1)
           | Error m -> Error ("tamper during state check: " ^ m))
   in
   go sh.issued
+
+let match_candidates cs sh = match_candidates_read ~read:(Chunk_store.read cs) sh
 
 (* Reopen after a crash and run the recovery oracles. Returns the reopened
    store (with its counter) unless reopening itself failed. *)
@@ -701,7 +706,7 @@ let build_replica_fixture ~trace : replica_fixture =
   let _, archive = AS.open_mem () in
   let ctr = OWC.open_store ctr_s in
   let cs = Chunk_store.create ~config:store_config ~secret ~counter:ctr db in
-  let bs = BK.create ~secret ~archive cs in
+  let bs = BK.create ~secret ~archive (Shard_store.wrap cs) in
   let model : chunk_state = Hashtbl.create 64 in
   let r_cids = Hashtbl.create 64 in
   let rng = Drbg.create ~seed:(trace.seed ^ ":replica") in
@@ -767,7 +772,7 @@ let replica_boundaries ~fx =
   let _, f_archive = AS.open_mem () in
   let ctr = OWC.open_store env.ctr_store in
   let cs = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr env.db in
-  let bs = BK.create ~secret:env.secret ~archive:f_archive cs in
+  let bs = BK.create ~secret:env.secret ~archive:f_archive (Shard_store.wrap cs) in
   Fault_plan.arm env.plan ~at:max_int ~tear:Fault_plan.Skip;
   Array.iter (fun s -> ignore (BK.apply_stream bs s)) fx.r_streams;
   let n = Fault_plan.ops env.plan in
@@ -791,7 +796,7 @@ let replica_one_run ~fx ~violations ~crashes ~recoveries ~k ~seed_idx =
   let run = Printf.sprintf "replica k=%d seed=%d" k seed_idx in
   let ctr = OWC.open_store env.ctr_store in
   let cs = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr env.db in
-  let bs = BK.create ~secret:env.secret ~archive:f_archive cs in
+  let bs = BK.create ~secret:env.secret ~archive:f_archive (Shard_store.wrap cs) in
   let n = Array.length fx.r_streams in
   let matches cs b =
     match state_matches cs fx.r_states.(b) fx.r_cids with
@@ -835,7 +840,7 @@ let replica_one_run ~fx ~violations ~crashes ~recoveries ~k ~seed_idx =
       | exception e -> add violations run "recovery-exception" (Printexc.to_string e)
       | cs2 -> (
           incr recoveries;
-          let bs2 = BK.create ~secret:env.secret ~archive:f_archive cs2 in
+          let bs2 = BK.create ~secret:env.secret ~archive:f_archive (Shard_store.wrap cs2) in
           let i = !applying in
           let st = (BK.chain_state bs2).BK.last_id in
           let b =
@@ -919,7 +924,7 @@ let sweep_replica_tamper ?(stride = 37) ?(mask = 0x10) ~trace () =
     let _, ctr_s = US.open_mem () in
     let ctr = OWC.open_store ctr_s in
     let cs = Chunk_store.create ~config:store_config ~secret ~counter:ctr db in
-    let bs = BK.create ~secret ~archive:f_archive cs in
+    let bs = BK.create ~secret ~archive:f_archive (Shard_store.wrap cs) in
     for j = 0 to i - 1 do
       ignore (BK.apply_stream bs fx.r_streams.(j))
     done;
@@ -975,6 +980,429 @@ let sweep_replica_tamper ?(stride = 37) ?(mask = 0x10) ~trace () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Cross-shard 2PC sweep *)
+
+(* The sharded variant of the crashpoint sweep: the workload runs through
+   a {!Shard_store} router over [n] shards — [n] database stores and [n]
+   one-way-counter stores, all instrumented by ONE shared fault plan, so
+   the global boundary counter interleaves every shard's writes and syncs.
+   Most transactions transfer value between two shards and commit durably,
+   which drives the cross-shard 2PC; with stride 1 the sweep therefore
+   crashes at every store boundary {e between prepare and commit} — inside
+   a participant's durable prepare, during the coordinator's decision
+   (dtab) write, between apply commits, and in cleanup.
+
+   Oracles after recovery ({!Shard_store.open_existing}, which resolves
+   in-doubt transactions): the global chunk state must sit at one
+   admissible commit boundary — a cross-shard batch half-applied on one
+   shard matches {e no} boundary and is reported (all shards agree on the
+   outcome, no partial application); recovery must never raise a false
+   [Tamper_detected]; each shard's counter never reads below its floor. *)
+
+let default_shard_width () = max 2 (Config.default_shards ())
+let shard_cfg n = { store_config with Config.shards = n }
+
+type shard_env = {
+  s_db_mem : US.Mem.handle array;
+  s_db : US.t array;  (* instrumented *)
+  s_ctr_mem : US.Mem.handle array;
+  s_ctr : US.t array;  (* instrumented *)
+  s_plan : Fault_plan.t;
+  s_secret : Tdb_platform.Secret_store.t;
+}
+
+let make_shard_env n =
+  let plan = Fault_plan.create () in
+  let db = Array.init n (fun _ -> US.open_mem ()) in
+  let ctr = Array.init n (fun _ -> US.open_mem ()) in
+  {
+    s_db_mem = Array.map fst db;
+    s_db = Array.map (fun (_, r) -> Fault_plan.instrument plan r) db;
+    s_ctr_mem = Array.map fst ctr;
+    s_ctr = Array.map (fun (_, r) -> Fault_plan.instrument plan r) ctr;
+    s_plan = plan;
+    s_secret = Tdb_platform.Secret_store.of_seed "crashfuzz-device";
+  }
+
+let shard_of_gid n g = if g < 8 then 0 else (g - 8) mod n
+
+(* Commit through the router. [durable] is what the workload {e observes}:
+   the router upgrades any multi-shard batch to durable, so callers pass
+   the effective flag (requested || cross-shard). Durable commits raise
+   every shard's counter floor. No checkpoint promotion here: a checkpoint
+   on one shard says nothing about another shard's nondurable commits, so
+   nondurable boundaries simply stay in the admissible window. *)
+let commit_shadow_shard ~durable ~ss ~sh ~ctrs ~hw_floors =
+  sh.issued <- sh.issued + 1;
+  Hashtbl.replace sh.states sh.issued (Hashtbl.copy sh.model);
+  Shard_store.commit ~durable ss;
+  if durable then begin
+    sh.durable_lo <- sh.issued;
+    Array.iteri
+      (fun i c ->
+        let hw = OWC.read c in
+        if Int64.compare hw hw_floors.(i) > 0 then hw_floors.(i) <- hw)
+      ctrs
+  end
+
+let check_read_shard ss sh cid =
+  let got = Shard_store.read ss cid in
+  match Hashtbl.find_opt sh.model cid with
+  | Some want when String.equal want got -> ()
+  | _ -> raise (Harness_violation ("live-read-mismatch", Printf.sprintf "chunk %d" cid))
+
+(* Phase A: per-shard balance chunks loaded in one all-shard durable
+   commit (itself a 2PC), then transfers — 3/4 pick a distinct source and
+   destination shard, rewrite one balance chunk on each, append a history
+   chunk on the source and retire old history (whose shard the batch also
+   joins). Cross-shard batches are always durable; same-shard transfers
+   follow the trace's durable cadence. *)
+let run_phase_shard ~n ~trace ~ss ~sh ~rng ~ctrs ~hw_floors =
+  let per = max 2 ((trace.accounts + n - 1) / n) in
+  let base = Array.init n (fun s -> Array.init per (fun _ -> Shard_store.allocate ~shard:s ss)) in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun i cid ->
+          let data = pad (Printf.sprintf "sbase:%d:%02d:%d" s i (Drbg.int rng 1_000_000)) in
+          Shard_store.write ss cid data;
+          shadow_write sh cid data)
+        row)
+    base;
+  commit_shadow_shard ~durable:true ~ss ~sh ~ctrs ~hw_floors;
+  let history = Queue.create () in
+  for i = 1 to trace.txns do
+    let src = Drbg.int rng n in
+    let dst =
+      if Int.equal (Drbg.int rng 4) 0 then src
+      else begin
+        let d = Drbg.int rng (n - 1) in
+        if d >= src then d + 1 else d
+      end
+    in
+    let touched = ref [] in
+    let touch cid = touched := shard_of_gid n cid :: !touched in
+    let a = base.(src).(Drbg.int rng per) in
+    let b = base.(dst).(Drbg.int rng per) in
+    let delta = Drbg.int rng 10_000 in
+    List.iter
+      (fun cid ->
+        check_read_shard ss sh cid;
+        let data = pad (Printf.sprintf "xfer:%04d:%03d:%d" i cid delta) in
+        Shard_store.write ss cid data;
+        shadow_write sh cid data;
+        touch cid)
+      (if Int.equal a b then [ a ] else [ a; b ]);
+    let h = Shard_store.allocate ~shard:src ss in
+    let hdata = pad (Printf.sprintf "xhist:%04d:%d.%d:%d" i src dst delta) in
+    Shard_store.write ss h hdata;
+    shadow_write sh h hdata;
+    touch h;
+    Queue.add h history;
+    if Queue.length history > trace.history_keep then begin
+      let old = Queue.pop history in
+      Shard_store.deallocate ss old;
+      shadow_dealloc sh old;
+      touch old
+    end;
+    let cross =
+      match !touched with
+      | [] -> false
+      | t0 :: rest -> List.exists (fun s -> not (Int.equal s t0)) rest
+    in
+    let durable = cross || Int.equal (i mod trace.durable_every) 0 in
+    commit_shadow_shard ~durable ~ss ~sh ~ctrs ~hw_floors
+  done
+
+(* Phase B: epilogue against whatever state recovery produced — rewrites,
+   fresh allocations (round-robin, so durable commits keep spanning
+   shards), occasional deallocation. All durable. *)
+let run_epilogue_shard ~trace ~ss ~sh ~rng ~ctrs ~hw_floors =
+  for i = 1 to trace.epilogue_txns do
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) sh.model [] in
+    let keys = Array.of_list (List.sort Int.compare keys) in
+    let nkeys = Array.length keys in
+    if nkeys > 0 then begin
+      let cid = keys.(Drbg.int rng nkeys) in
+      check_read_shard ss sh cid;
+      let data = pad (Printf.sprintf "sepi:%03d:txn:%04d" cid i) in
+      Shard_store.write ss cid data;
+      shadow_write sh cid data
+    end;
+    let c = Shard_store.allocate ss in
+    let data = pad (Printf.sprintf "sepinew:%04d" i) in
+    Shard_store.write ss c data;
+    shadow_write sh c data;
+    if nkeys > 4 && Int.equal (Drbg.int rng 4) 0 then begin
+      let victim = keys.(Drbg.int rng nkeys) in
+      if Hashtbl.mem sh.model victim then begin
+        Shard_store.deallocate ss victim;
+        shadow_dealloc sh victim
+      end
+    end;
+    commit_shadow_shard ~durable:true ~ss ~sh ~ctrs ~hw_floors
+  done
+
+(* Reopen all shards after a crash and run the recovery oracles. *)
+let reopen_and_check_shard ~n ~run ~violations ~(env : shard_env) ~sh ~hw_floors =
+  match
+    let ctrs = Array.map OWC.open_store env.s_ctr in
+    let ss = Shard_store.open_existing ~config:(shard_cfg n) ~secret:env.s_secret ~counters:ctrs env.s_db in
+    (ctrs, ss)
+  with
+  | exception Types.Tamper_detected m -> add violations run "false-tamper" m; None
+  | exception Chunk_store.Recovery_failed m -> add violations run "recovery-failed" m; None
+  | exception e -> add violations run "recovery-exception" (Printexc.to_string e); None
+  | ctrs, ss ->
+      Array.iteri
+        (fun i c ->
+          let hw = OWC.read c in
+          if Int64.compare hw hw_floors.(i) < 0 then
+            add violations run "counter-rollback"
+              (Printf.sprintf "shard %d: read %Ld, floor %Ld" i hw hw_floors.(i));
+          if Int64.compare hw hw_floors.(i) > 0 then hw_floors.(i) <- hw)
+        ctrs;
+      (match match_candidates_read ~read:(Shard_store.read ss) sh with
+      | Ok d -> shadow_reset_to sh d
+      | Error detail ->
+          (* a cross-shard batch applied on some shards but not others
+             matches no boundary: this is the atomicity oracle *)
+          add violations run "atomicity-violation" detail;
+          shadow_base sh);
+      Some (ctrs, ss)
+
+(* Post-recovery usability probe: a write on the first and last shard plus
+   a durable commit — i.e. a fresh cross-shard 2PC — must succeed and
+   serve the data back. *)
+let probe_shard ~n ~run ~violations ~ss ~sh ~ctrs ~hw_floors =
+  match
+    let c1 = Shard_store.allocate ~shard:0 ss in
+    let c2 = Shard_store.allocate ~shard:(n - 1) ss in
+    List.iter
+      (fun c ->
+        let data = pad (Printf.sprintf "sprobe:%06d" c) in
+        Shard_store.write ss c data;
+        shadow_write sh c data)
+      [ c1; c2 ];
+    commit_shadow_shard ~durable:true ~ss ~sh ~ctrs ~hw_floors;
+    List.iter
+      (fun c ->
+        let got = Shard_store.read ss c in
+        match Hashtbl.find_opt sh.model c with
+        | Some want when String.equal want got -> ()
+        | _ -> add violations run "probe-read-mismatch" (Printf.sprintf "chunk %d" c))
+      [ c1; c2 ];
+    let u = Shard_store.utilization ss in
+    if u < 0.0 || u > 1.0001 then add violations run "utilization-out-of-range" (Printf.sprintf "%f" u)
+  with
+  | () -> ()
+  | exception e -> add violations run "probe-exception" (Printexc.to_string e)
+
+let record_boundaries_shard ~n ~trace =
+  let env = make_shard_env n in
+  let sh = shadow_create () in
+  let rng = Drbg.create ~seed:(trace.seed ^ ":shard-trace") in
+  let ctrs = Array.map OWC.open_store env.s_ctr in
+  let ss = Shard_store.create ~config:(shard_cfg n) ~secret:env.s_secret ~counters:ctrs env.s_db in
+  shadow_base sh;
+  Fault_plan.arm env.s_plan ~at:max_int ~tear:Fault_plan.Skip;
+  let hw_floors = Array.map OWC.read ctrs in
+  run_phase_shard ~n ~trace ~ss ~sh ~rng ~ctrs ~hw_floors;
+  let k = Fault_plan.ops env.s_plan in
+  Fault_plan.reset env.s_plan;
+  Shard_store.close ss;
+  k
+
+(* One cell: crash phase A at global boundary [k], recover every shard
+   under the seeded persistence subset, epilogue with a second seeded
+   crashpoint, recover again, probe with a cross-shard commit. *)
+let one_run_shard ~n ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
+  let env = make_shard_env n in
+  let sh = shadow_create () in
+  let trace_rng = Drbg.create ~seed:(trace.seed ^ ":shard-trace") in
+  let fault_rng = Drbg.create ~seed:(Printf.sprintf "%s:shard-fault:%d:%d" trace.seed k seed_idx) in
+  let persist_prob = persist_probs.(seed_idx mod Array.length persist_probs) in
+  let crash_rng m = Drbg.int fault_rng m in
+  let run = Printf.sprintf "shard k=%d seed=%d" k seed_idx in
+  let ctrs0 = Array.map OWC.open_store env.s_ctr in
+  let ss0 = Shard_store.create ~config:(shard_cfg n) ~secret:env.s_secret ~counters:ctrs0 env.s_db in
+  shadow_base sh;
+  let hw_floors = Array.map OWC.read ctrs0 in
+  Fault_plan.arm env.s_plan ~at:k ~tear:tears.(Drbg.int fault_rng (Array.length tears));
+  let finish_on ss ctrs =
+    probe_shard ~n ~run:(run ^ ":probe") ~violations ~ss ~sh ~ctrs ~hw_floors;
+    Shard_store.close ss
+  in
+  let crash_and_check ~phase =
+    Fault_plan.reset env.s_plan;
+    Array.iter (US.Mem.crash ~persist_prob ~rng:crash_rng) env.s_db_mem;
+    Array.iter (US.Mem.crash ~persist_prob ~rng:crash_rng) env.s_ctr_mem;
+    let r = reopen_and_check_shard ~n ~run:(run ^ ":" ^ phase) ~violations ~env ~sh ~hw_floors in
+    if Option.is_some r then incr recoveries;
+    r
+  in
+  match run_phase_shard ~n ~trace ~ss:ss0 ~sh ~rng:trace_rng ~ctrs:ctrs0 ~hw_floors with
+  | () -> (
+      Fault_plan.reset env.s_plan;
+      Shard_store.close ss0;
+      shadow_base sh;
+      match reopen_and_check_shard ~n ~run:(run ^ ":clean") ~violations ~env ~sh ~hw_floors with
+      | Some (ctrs, ss) -> finish_on ss ctrs
+      | None -> ())
+  | exception Harness_violation (kind, detail) -> add violations run kind detail
+  | exception Fault_plan.Crash_point -> (
+      incr crashes;
+      match crash_and_check ~phase:"A" with
+      | None -> ()
+      | Some (ctrs1, ss1) -> (
+          let counter_focus = Int.equal (seed_idx land 1) 1 in
+          let k2 = Drbg.int fault_rng (if counter_focus then 24 else 120) in
+          let tear2 =
+            if counter_focus then Fault_plan.Torn else tears.(Drbg.int fault_rng (Array.length tears))
+          in
+          Fault_plan.arm env.s_plan ~at:k2 ~tear:tear2;
+          match run_epilogue_shard ~trace ~ss:ss1 ~sh ~rng:trace_rng ~ctrs:ctrs1 ~hw_floors with
+          | () -> (
+              Fault_plan.reset env.s_plan;
+              Shard_store.close ss1;
+              shadow_base sh;
+              match reopen_and_check_shard ~n ~run:(run ^ ":B-clean") ~violations ~env ~sh ~hw_floors with
+              | Some (ctrs, ss) -> finish_on ss ctrs
+              | None -> ())
+          | exception Harness_violation (kind, detail) -> add violations (run ^ ":B") kind detail
+          | exception Fault_plan.Crash_point -> (
+              incr crashes;
+              match crash_and_check ~phase:"B" with
+              | Some (ctrs, ss) -> finish_on ss ctrs
+              | None -> ())
+          | exception e -> add violations (run ^ ":B") "workload-exception" (Printexc.to_string e)))
+  | exception e -> add violations run "workload-exception" (Printexc.to_string e)
+
+let sweep_shard_2pc ?(progress = fun _ _ -> ()) ?shards ~trace ~seeds ~stride () =
+  let n = match shards with Some n -> n | None -> default_shard_width () in
+  if n < 2 then invalid_arg "sweep_shard_2pc: shards must be >= 2";
+  let boundaries = record_boundaries_shard ~n ~trace in
+  let violations = ref [] in
+  let runs = ref 0 and crashes = ref 0 and recoveries = ref 0 and crashpoints = ref 0 in
+  let k = ref 0 in
+  while !k < boundaries do
+    progress !k boundaries;
+    incr crashpoints;
+    for seed_idx = 0 to seeds - 1 do
+      incr runs;
+      one_run_shard ~n ~trace ~violations ~crashes ~recoveries ~k:!k ~seed_idx
+    done;
+    k := !k + stride
+  done;
+  {
+    boundaries;
+    crashpoints = !crashpoints;
+    seeds;
+    runs = !runs;
+    crashes = !crashes;
+    recoveries = !recoveries;
+    violations = List.rev !violations;
+  }
+
+(* Shard tamper sweep, two parts.
+
+   Part 1 — committed image: run the workload, close cleanly, then flip
+   every [stride]-th byte of each shard's image in turn and reopen the
+   whole router. Detected ([Tamper_detected] / [Recovery_failed]) or
+   harmless (state still exact) are fine; wrong data without an exception
+   is silent. This covers each shard's decision-table chunk — its chain
+   MAC and the width metadata — at rest.
+
+   Part 2 — in-doubt decision flips: crash the workload mid-trace at a
+   few boundaries (most land inside a 2PC, between a participant's
+   prepare and the final apply), keep {e every} write (persist_prob 1 —
+   the richest image: staged prepares and live decision entries), flip
+   bytes across the shard images and reopen. Recovery may detect the
+   flip, or resolve the in-doubt transaction to {e some admissible
+   boundary} (commit or presumed abort — the commit never returned); a
+   flipped decision record that steers recovery to a state matching no
+   admissible boundary is silent. *)
+let sweep_shard_tamper ?(stride = 7) ?(mask = 0x10) ?shards ~trace () =
+  let n = match shards with Some n -> n | None -> default_shard_width () in
+  if n < 2 then invalid_arg "sweep_shard_tamper: shards must be >= 2";
+  let detected = ref 0 and harmless = ref 0 and silent = ref 0 and flips = ref 0 in
+  let silent_offs = ref [] in
+  let image_bytes = ref 0 in
+  let flip_sweep ~(env : shard_env) ~sh ~stride ~off_tag =
+    let db0 = Array.map US.Mem.snapshot env.s_db_mem in
+    let ctr0 = Array.map US.Mem.snapshot env.s_ctr_mem in
+    for s = 0 to n - 1 do
+      let len = Bytes.length db0.(s) in
+      image_bytes := !image_bytes + len;
+      let off = ref 0 in
+      while !off < len do
+        incr flips;
+        US.Mem.corrupt env.s_db_mem.(s) ~off:!off ~len:1 ~mask;
+        (match
+           let ctrs = Array.map OWC.open_store env.s_ctr in
+           Shard_store.open_existing ~config:(shard_cfg n) ~secret:env.s_secret ~counters:ctrs env.s_db
+         with
+        | exception Types.Tamper_detected _ -> incr detected
+        | exception Chunk_store.Recovery_failed _ -> incr detected
+        | ss2 -> (
+            match match_candidates_read ~read:(Shard_store.read ss2) sh with
+            | Ok _ -> incr harmless
+            | Error m when String.length m >= 6 && String.equal (String.sub m 0 6) "tamper" -> incr detected
+            | Error _ ->
+                incr silent;
+                silent_offs := (off_tag + (s * 1_000_000) + !off) :: !silent_offs));
+        Array.iteri (fun i img -> US.Mem.restore env.s_db_mem.(i) img) db0;
+        Array.iteri (fun i img -> US.Mem.restore env.s_ctr_mem.(i) img) ctr0;
+        off := !off + stride
+      done
+    done
+  in
+  (* part 1: clean committed image *)
+  let env = make_shard_env n in
+  let sh = shadow_create () in
+  let rng = Drbg.create ~seed:(trace.seed ^ ":shard-trace") in
+  let ctrs = Array.map OWC.open_store env.s_ctr in
+  let ss = Shard_store.create ~config:(shard_cfg n) ~secret:env.s_secret ~counters:ctrs env.s_db in
+  shadow_base sh;
+  let hw_floors = Array.map OWC.read ctrs in
+  run_phase_shard ~n ~trace ~ss ~sh ~rng ~ctrs ~hw_floors;
+  Shard_store.close ss;
+  shadow_base sh;
+  flip_sweep ~env ~sh ~stride ~off_tag:0;
+  (* part 2: images crashed mid-2PC, with live decision entries *)
+  let total = record_boundaries_shard ~n ~trace in
+  let in_doubt_points = [ total / 2; total * 3 / 4 ] in
+  List.iter
+    (fun kp ->
+      let env = make_shard_env n in
+      let sh = shadow_create () in
+      let rng = Drbg.create ~seed:(trace.seed ^ ":shard-trace") in
+      let ctrs = Array.map OWC.open_store env.s_ctr in
+      let ss = Shard_store.create ~config:(shard_cfg n) ~secret:env.s_secret ~counters:ctrs env.s_db in
+      shadow_base sh;
+      let hw_floors = Array.map OWC.read ctrs in
+      Fault_plan.arm env.s_plan ~at:kp ~tear:Fault_plan.Applied;
+      match run_phase_shard ~n ~trace ~ss ~sh ~rng ~ctrs ~hw_floors with
+      | () -> Fault_plan.reset env.s_plan; Shard_store.close ss
+      | exception Fault_plan.Crash_point ->
+          Fault_plan.reset env.s_plan;
+          (* keep every write: the image retains staged prepares and any
+             not-yet-cleaned decision entry *)
+          let keep _ = 0 in
+          Array.iter (US.Mem.crash ~persist_prob:1.0 ~rng:keep) env.s_db_mem;
+          Array.iter (US.Mem.crash ~persist_prob:1.0 ~rng:keep) env.s_ctr_mem;
+          flip_sweep ~env ~sh ~stride:(stride * 5) ~off_tag:((kp + 1) * 100_000_000))
+    in_doubt_points;
+  {
+    image_bytes = !image_bytes;
+    flips = !flips;
+    detected = !detected;
+    harmless = !harmless;
+    silent = !silent;
+    silent_offsets = List.rev !silent_offs;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* JSON summary *)
 
 let json_escape s =
@@ -992,8 +1420,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let json_summary ?group_commit ?commit_flush ?replica ?replica_tamper ~trace ~(crash : crash_report)
-    ~(tamper : tamper_report) () : string =
+let json_summary ?group_commit ?commit_flush ?replica ?replica_tamper ?shard_2pc ?shard_tamper ~trace
+    ~(crash : crash_report) ~(tamper : tamper_report) () : string =
   let b = Buffer.create 1024 in
   let add_crash_report key (r : crash_report) =
     Buffer.add_string b
@@ -1017,6 +1445,7 @@ let json_summary ?group_commit ?commit_flush ?replica ?replica_tamper ~trace ~(c
   (match group_commit with None -> () | Some r -> add_crash_report "group_commit" r);
   (match commit_flush with None -> () | Some r -> add_crash_report "commit_flush" r);
   (match replica with None -> () | Some r -> add_crash_report "replica" r);
+  (match shard_2pc with None -> () | Some r -> add_crash_report "shard_2pc" r);
   let tamper_json key (r : tamper_report) =
     Printf.sprintf
       "  \"%s\": {\"image_bytes\": %d, \"flips\": %d, \"detected\": %d, \"harmless\": %d, \"silent\": %d, \"silent_offsets\": [%s]}"
@@ -1029,5 +1458,10 @@ let json_summary ?group_commit ?commit_flush ?replica ?replica_tamper ~trace ~(c
   | Some r ->
       Buffer.add_string b ",\n";
       Buffer.add_string b (tamper_json "replica_tamper" r));
+  (match shard_tamper with
+  | None -> ()
+  | Some r ->
+      Buffer.add_string b ",\n";
+      Buffer.add_string b (tamper_json "shard_tamper" r));
   Buffer.add_string b "\n}";
   Buffer.contents b

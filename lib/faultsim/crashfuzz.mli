@@ -80,6 +80,28 @@ val sweep_replica :
     agreeing — and the remaining streams must then re-apply to
     convergence with the primary. *)
 
+val sweep_shard_2pc :
+  ?progress:(int -> int -> unit) ->
+  ?shards:int ->
+  trace:trace_cfg ->
+  seeds:int ->
+  stride:int ->
+  unit ->
+  crash_report
+(** Cross-shard 2PC sweep: the workload runs through a
+    {!Tdb_chunk.Shard_store} router over [shards] shards (default:
+    [max 2 TDB_SHARDS]) — [shards] database stores and [shards] counter
+    stores instrumented by one shared fault plan — and most transactions
+    transfer value between two shards with a durable commit, driving the
+    cross-shard two-phase path. With stride 1 the sweep crashes at every
+    store boundary between prepare and commit: inside a participant's
+    durable prepare, during the coordinator's decision write, between
+    apply commits, and in cleanup. After recovery all shards must agree
+    on each transaction's outcome — the recovered global state must sit
+    at one admissible commit boundary (a batch half-applied on one shard
+    matches none and is reported), with no false tampering and no
+    per-shard counter rollback. *)
+
 val sweep_tamper : ?stride:int -> ?mask:int -> trace:trace_cfg -> unit -> tamper_report
 (** Build a committed image from the trace, then XOR [mask] into every
     [stride]-th byte (one at a time): each flip must be detected
@@ -95,11 +117,24 @@ val sweep_replica_tamper : ?stride:int -> ?mask:int -> trace:trace_cfg -> unit -
     after which the genuine sequence must still apply to convergence —
     never silently wrong data. *)
 
+val sweep_shard_tamper :
+  ?stride:int -> ?mask:int -> ?shards:int -> trace:trace_cfg -> unit -> tamper_report
+(** Tamper companion for the shard sweep, in two parts: bit-flips over
+    each shard's cleanly-closed image (covering the decision-table chunk,
+    its chain MAC and the width metadata at rest), then bit-flips over
+    images crashed mid-2PC with every write retained — live staged
+    prepares and decision entries. A flip must be detected or leave
+    recovery at an admissible commit boundary (commit or presumed abort
+    for a transaction that never returned); steering recovery to any
+    other state is silent tampering and must never happen. *)
+
 val json_summary :
   ?group_commit:crash_report ->
   ?commit_flush:crash_report ->
   ?replica:crash_report ->
   ?replica_tamper:tamper_report ->
+  ?shard_2pc:crash_report ->
+  ?shard_tamper:tamper_report ->
   trace:trace_cfg ->
   crash:crash_report ->
   tamper:tamper_report ->
@@ -108,4 +143,6 @@ val json_summary :
 (** Machine-readable summary for the [tdb_crashfuzz] CLI.
     [group_commit], when present, is the {!sweep_group_commit} report;
     [commit_flush] the {!sweep_commit_flush} report; [replica] the
-    {!sweep_replica} report and [replica_tamper] its tamper companion. *)
+    {!sweep_replica} report and [replica_tamper] its tamper companion;
+    [shard_2pc] the {!sweep_shard_2pc} report and [shard_tamper] its
+    tamper companion. *)

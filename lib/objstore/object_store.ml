@@ -38,7 +38,7 @@ let default_config = { lock_timeout = 1.0; locking = true; cache_budget = 4 * 10
 let catalog_cid = 1 (* reserved chunk id holding the named-roots catalog *)
 
 type t = {
-  cs : Chunk_store.t;
+  cs : Shard_store.t;
   cfg : config;
   mu : Mutex.t;
   locks : Lock_manager.t;
@@ -60,6 +60,7 @@ type txn = {
   mutable inserted : oid list;
   mutable removed : oid list;
   mutable root_updates : (string * oid option) list;
+  mutable alloc_shard : int option; (* shard affinity for this txn's inserts *)
 }
 
 (** A smart pointer: valid only while its transaction is active (paper
@@ -105,8 +106,8 @@ let decode_roots (s : string) : (string * oid) list =
 
 (* --- store lifecycle --- *)
 
-let of_chunk_store ?(config = default_config) (cs : Chunk_store.t) : t =
-  let roots = match Chunk_store.read cs catalog_cid with s -> decode_roots s | exception Types.Not_written _ -> [] in
+let of_shard_store ?(config = default_config) (cs : Shard_store.t) : t =
+  let roots = match Shard_store.read cs catalog_cid with s -> decode_roots s | exception Types.Not_written _ -> [] in
   {
     cs;
     cfg = config;
@@ -117,6 +118,7 @@ let of_chunk_store ?(config = default_config) (cs : Chunk_store.t) : t =
     next_txn_id = 1;
   }
 
+let of_chunk_store ?config (cs : Chunk_store.t) : t = of_shard_store ?config (Shard_store.wrap cs)
 let chunk_store t = t.cs
 let held_count t = with_mu t (fun () -> Lock_manager.held_count t.locks)
 
@@ -125,7 +127,7 @@ let held_count t = with_mu t (fun () -> Lock_manager.held_count t.locks)
     this: snapshot creation, archive emission and chain-state commits must
     not interleave with a transaction's own commit. [f] must not call back
     into this object store (the mutex is not reentrant). *)
-let with_store t (f : Chunk_store.t -> 'a) : 'a = with_mu t (fun () -> f t.cs)
+let with_store t (f : Shard_store.t -> 'a) : 'a = with_mu t (fun () -> f t.cs)
 
 (** Replication ingest hook: run [f] (which may rewrite the store
     arbitrarily, e.g. {!Tdb_backup.Backup_store.apply_stream}) only when
@@ -134,27 +136,32 @@ let with_store t (f : Chunk_store.t -> 'a) : 'a = with_mu t (fun () -> f t.cs)
     Returns [None] without running [f] if any lock is held (the caller
     retries on its next tick); 2PL plus this quiesce check is what keeps
     follower reads serializable across ingested snapshots. *)
-let ingest t (f : Chunk_store.t -> 'a) : 'a option =
+let ingest t (f : Shard_store.t -> 'a) : 'a option =
   with_mu t (fun () ->
       if Lock_manager.held_count t.locks > 0 then None
       else begin
         let r = f t.cs in
         Cache.drop_all t.cache;
         t.roots <-
-          (match Chunk_store.read t.cs catalog_cid with
+          (match Shard_store.read t.cs catalog_cid with
           | s -> decode_roots s
           | exception Types.Not_written _ -> []);
         Some r
       end)
-let close t = with_mu t (fun () -> Chunk_store.close t.cs)
-let checkpoint t = with_mu t (fun () -> Chunk_store.checkpoint t.cs)
+let close t = with_mu t (fun () -> Shard_store.close t.cs)
+let checkpoint t = with_mu t (fun () -> Shard_store.checkpoint t.cs)
 let cache_stats t = Cache.stats t.cache
 
 let chunk_cache_stats t =
-  let st = Chunk_store.stats t.cs in
+  let st = Shard_store.stats t.cs in
   (st.Chunk_store.cache_hits, st.Chunk_store.cache_misses, st.Chunk_store.cache_evictions)
 
-let set_chunk_cache_budget t b = with_mu t (fun () -> Chunk_store.set_cache_budget t.cs b)
+let set_chunk_cache_budget t b =
+  with_mu t (fun () ->
+      let n = Shard_store.shards t.cs in
+      for s = 0 to n - 1 do
+        Chunk_store.set_cache_budget (Shard_store.shard_store t.cs s) (b / n)
+      done)
 
 (** Committed value of a named root. *)
 let get_root t (name : string) : oid option = with_mu t (fun () -> List.assoc_opt name t.roots)
@@ -174,9 +181,23 @@ let begin_ (t : t) : txn =
         inserted = [];
         removed = [];
         root_updates = [];
+        alloc_shard = None;
       })
 
 let check_active (x : txn) = if not (is_active x.state) then raise Stale_ref
+
+(** Pin this transaction's inserts to one shard (collections use this so
+    an object lands with its collection's other rows; [None] restores the
+    router's round-robin default). A no-op at one shard. *)
+let set_alloc_shard (x : txn) (s : int option) : unit =
+  with_mu x.store (fun () ->
+      check_active x;
+      x.alloc_shard <- s)
+
+let alloc_shard (x : txn) : int option =
+  with_mu x.store (fun () ->
+      check_active x;
+      x.alloc_shard)
 
 let lock x ~oid ~mode =
   if x.store.cfg.locking then
@@ -193,7 +214,7 @@ let load t (oid : oid) : Cache.entry =
   match Cache.find t.cache oid with
   | Some e -> e
   | None -> (
-      match Chunk_store.read t.cs oid with
+      match Shard_store.read t.cs oid with
       | bytes -> Cache.put t.cache oid (Obj_class.unpickle_value bytes) ~size:(String.length bytes)
       | exception Types.Not_written _ -> raise (Unknown_object oid) )
 
@@ -207,7 +228,7 @@ let load t (oid : oid) : Cache.entry =
 let preload (t : t) (oids : oid list) : int =
   with_mu t (fun () ->
       let missing = List.filter (fun oid -> Cache.find t.cache oid = None) oids in
-      match Chunk_store.read_many t.cs missing with
+      match Shard_store.read_many t.cs missing with
       | chunks ->
           List.iter2
             (fun oid bytes ->
@@ -222,7 +243,7 @@ let preload (t : t) (oids : oid list) : int =
 let insert (x : txn) (cls : 'a Obj_class.t) (v : 'a) : oid =
   with_mu x.store (fun () ->
       check_active x;
-      let oid = Chunk_store.allocate x.store.cs in
+      let oid = Shard_store.allocate ?shard:x.alloc_shard x.store.cs in
       lock x ~oid ~mode:Lock_manager.Exclusive;
       let e = Cache.put x.store.cache oid (Obj_class.Value (cls, v)) ~size:0 in
       pin_entry x e;
@@ -315,12 +336,12 @@ let commit ?(durable = true) (x : txn) : unit =
            (fun oid (e : Cache.entry) ->
              let (Obj_class.Value (cls, v)) = e.Cache.value in
              let bytes = Obj_class.pickle_value cls v in
-             Chunk_store.write t.cs oid bytes;
+             Shard_store.write t.cs oid bytes;
              Cache.update_size t.cache e ~size:(String.length bytes))
            x.writes;
          List.iter
            (fun oid ->
-             Chunk_store.deallocate t.cs oid;
+             Shard_store.deallocate t.cs oid;
              Cache.remove t.cache oid)
            x.removed;
          if x.root_updates <> [] then begin
@@ -331,16 +352,16 @@ let commit ?(durable = true) (x : txn) : unit =
                  match v with Some oid -> (name, oid) :: acc | None -> acc)
                t.roots (List.rev x.root_updates)
            in
-           Chunk_store.write t.cs catalog_cid (encode_roots roots);
+           Shard_store.write t.cs catalog_cid (encode_roots roots);
            t.roots <- roots
          end;
-         Chunk_store.commit ~durable t.cs
+         Shard_store.commit ~durable t.cs
        with exn ->
-         Chunk_store.abort_batch t.cs;
+         Shard_store.abort_batch t.cs;
          finish x Aborted;
          (* failed commit behaves like abort: evict dirty objects *)
          Hashtbl.iter (fun oid _ -> Cache.remove t.cache oid) x.writes;
-         List.iter (fun oid -> try Chunk_store.deallocate t.cs oid with Types.Not_allocated _ -> ()) x.inserted;
+         List.iter (fun oid -> try Shard_store.deallocate t.cs oid with Types.Not_allocated _ -> ()) x.inserted;
          raise exn);
       finish x Committed)
 
@@ -353,8 +374,8 @@ let abort (x : txn) : unit =
       let t = x.store in
       finish x Aborted;
       Hashtbl.iter (fun oid _ -> Cache.remove t.cache oid) x.writes;
-      List.iter (fun oid -> try Chunk_store.deallocate t.cs oid with Types.Not_allocated _ -> ()) x.inserted;
-      Chunk_store.abort_batch t.cs)
+      List.iter (fun oid -> try Shard_store.deallocate t.cs oid with Types.Not_allocated _ -> ()) x.inserted;
+      Shard_store.abort_batch t.cs)
 
 (** Durable barrier without a transaction: promote every committed
     nondurable transaction to durable with one sync + one counter bump
@@ -369,9 +390,9 @@ let abort (x : txn) : unit =
     behind the barrier and defeat group commit entirely. The caller (the
     coordinator) guarantees at most one barrier in flight. *)
 let durable_barrier (t : t) : unit =
-  let tok = with_mu t (fun () -> Chunk_store.barrier_begin t.cs) in
-  Chunk_store.barrier_sync t.cs tok;
-  with_mu t (fun () -> Chunk_store.barrier_finish t.cs tok)
+  let tok = with_mu t (fun () -> Shard_store.barrier_begin t.cs) in
+  Shard_store.barrier_sync t.cs tok;
+  with_mu t (fun () -> Shard_store.barrier_finish t.cs tok)
 
 (** Run [f] in a transaction, committing on success and aborting on
     exception. *)

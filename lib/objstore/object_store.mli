@@ -35,8 +35,16 @@ val default_config : config
 
 type t
 
+val of_shard_store : ?config:config -> Tdb_chunk.Shard_store.t -> t
+(** An object store over a shard router — the general constructor. Object
+    ids are the router's global chunk ids; the named-roots catalog lives
+    on shard 0. *)
+
 val of_chunk_store : ?config:config -> Tdb_chunk.Chunk_store.t -> t
-val chunk_store : t -> Tdb_chunk.Chunk_store.t
+(** Convenience: wrap a single chunk store in a 1-shard router (pure
+    passthrough, byte-compatible with the unsharded format). *)
+
+val chunk_store : t -> Tdb_chunk.Shard_store.t
 val close : t -> unit
 val checkpoint : t -> unit
 
@@ -64,13 +72,13 @@ val held_count : t -> int
     transaction is active (observable lock hygiene, e.g. after a network
     session dies). *)
 
-val with_store : t -> (Tdb_chunk.Chunk_store.t -> 'a) -> 'a
+val with_store : t -> (Tdb_chunk.Shard_store.t -> 'a) -> 'a
 (** Run [f] on the underlying chunk store under the store's state mutex,
     serialized against every transaction — the backup/publish path (snapshot
     creation, archive emission, chain-state commits). [f] must not call
     back into this object store. *)
 
-val ingest : t -> (Tdb_chunk.Chunk_store.t -> 'a) -> 'a option
+val ingest : t -> (Tdb_chunk.Shard_store.t -> 'a) -> 'a option
 (** Replication ingest hook: run [f] (which may rewrite the store
     arbitrarily, e.g. an applied backup stream) only when no transaction
     holds a lock, then drop the object cache and reload the named-roots
@@ -98,6 +106,16 @@ val deref : ('a, 'mode) ref_ -> 'a
 
 val insert : txn -> 'a Obj_class.t -> 'a -> oid
 (** Insert a new object (exclusively locked, pinned dirty until commit). *)
+
+val set_alloc_shard : txn -> int option -> unit
+(** Pin this transaction's inserts to one shard of the underlying
+    {!Tdb_chunk.Shard_store} ([None] restores the router's round-robin
+    default). Collections use this so a row lands with its collection's
+    other rows; a no-op over a 1-shard router. *)
+
+val alloc_shard : txn -> int option
+(** The transaction's current allocation affinity (see
+    {!set_alloc_shard}). *)
 
 val open_readonly : txn -> 'a Obj_class.t -> oid -> ('a, readonly) ref_
 (** Shared lock; class-checked.

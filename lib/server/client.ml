@@ -162,3 +162,11 @@ let coll_size (c : t) ~coll : int =
 
 let stats (c : t) : Proto.stats =
   match rpc c Proto.Stats with Proto.Ok_stats s -> s | _ -> unexpected "Ok_stats"
+
+(* --- archive --- *)
+
+let list_backups (c : t) : (int * string) list =
+  match rpc c Proto.List_backups with Proto.Ok_list l -> l | _ -> unexpected "Ok_list"
+
+let fetch_backup (c : t) ~(name : string) : string =
+  expect_data (rpc c (Proto.Fetch_backup { name }))

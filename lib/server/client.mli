@@ -84,3 +84,16 @@ val coll_size : t -> coll:string -> int
 (** {1 Introspection} *)
 
 val stats : t -> Proto.stats
+
+(** {1 Archive} — remote access to the server's backup archive. *)
+
+val list_backups : t -> (int * string) list
+(** (backup id, archive stream name) pairs in id order. Raises
+    {!Server_error} with tag ["no_archive"] when the server has no
+    archive attached. *)
+
+val fetch_backup : t -> name:string -> string
+(** One archive stream by name, as listed by {!list_backups}. The stream
+    is an opaque sealed backup frame: it is verified and unsealed locally
+    by {!Tdb_backup.Backup_store} under the device secret — a server (or
+    wire) that tampers with it is detected at restore time, not trusted. *)

@@ -17,7 +17,7 @@ exception Proto_error of string
 (** Malformed frame, unknown opcode, version mismatch, or oversized
     payload. *)
 
-let version = 4
+let version = 5
 let magic = "TDB\001"
 
 let default_max_frame = 4 * 1024 * 1024
@@ -53,6 +53,10 @@ type request =
           starting after the subscriber's chain position (its persisted
           backup chain state). The publisher treats both fields as
           untrusted hints — frames are verified by the subscriber. *)
+  | List_backups  (** archive index: (backup id, archive name) pairs *)
+  | Fetch_backup of { name : string }
+      (** one archive stream by name — an opaque sealed backup frame the
+          client verifies and unseals locally under the device secret *)
 
 type stats = {
   s_sessions : int;  (** sessions currently connected *)
@@ -74,6 +78,12 @@ type stats = {
   s_backup_last_id : int;  (** backup/replication chain position (0 = none) *)
   s_backup_base_snapshot : int;  (** snapshot the next incremental diffs against; -1 = none *)
   s_backup_chain : string;  (** current backup hash-chain value ("" = never attached) *)
+  s_shards : int;  (** shard width of the chunk store (1 = unsharded) *)
+  s_cross_commits : int;  (** commits that took the cross-shard 2PC path *)
+  s_shard_counters : int64 list;  (** per-shard one-way counter values *)
+  s_shard_seqs : int list;  (** per-shard commit sequence numbers *)
+  s_shard_sizes : int list;  (** per-shard store sizes in bytes (log tail) *)
+  s_shard_barriers : int list;  (** per-shard staged group-commit barriers run *)
 }
 
 type response =
@@ -162,7 +172,11 @@ let encode_request (req : request) : string =
   | Subscribe { r_last_id; r_chain } ->
       P.byte w 17;
       P.uint w r_last_id;
-      P.string w r_chain);
+      P.string w r_chain
+  | List_backups -> P.byte w 18
+  | Fetch_backup { name } ->
+      P.byte w 19;
+      P.string w name);
   P.contents w
 
 let decode_request (payload : string) : request =
@@ -221,6 +235,8 @@ let decode_request (payload : string) : request =
         let r_last_id = P.read_uint r in
         let r_chain = P.read_string r in
         Subscribe { r_last_id; r_chain }
+    | 18 -> List_backups
+    | 19 -> Fetch_backup { name = P.read_string r }
     | op -> raise (Proto_error (Printf.sprintf "unknown request opcode %d" op))
   in
   P.expect_end r;
@@ -271,7 +287,13 @@ let encode_response (resp : response) : string =
       P.uint w s.s_par_wait_us;
       P.uint w s.s_backup_last_id;
       P.int w s.s_backup_base_snapshot;
-      P.string w s.s_backup_chain
+      P.string w s.s_backup_chain;
+      P.uint w s.s_shards;
+      P.uint w s.s_cross_commits;
+      P.list w P.int64 s.s_shard_counters;
+      P.list w P.uint s.s_shard_seqs;
+      P.list w P.uint s.s_shard_sizes;
+      P.list w P.uint s.s_shard_barriers
   | Error_ { tag; msg } ->
       P.byte w 9;
       P.string w tag;
@@ -319,6 +341,12 @@ let decode_response (payload : string) : response =
         let s_backup_last_id = P.read_uint r in
         let s_backup_base_snapshot = P.read_int r in
         let s_backup_chain = P.read_string r in
+        let s_shards = P.read_uint r in
+        let s_cross_commits = P.read_uint r in
+        let s_shard_counters = P.read_list r P.read_int64 in
+        let s_shard_seqs = P.read_list r P.read_uint in
+        let s_shard_sizes = P.read_list r P.read_uint in
+        let s_shard_barriers = P.read_list r P.read_uint in
         Ok_stats
           {
             s_sessions;
@@ -340,6 +368,12 @@ let decode_response (payload : string) : response =
             s_backup_last_id;
             s_backup_base_snapshot;
             s_backup_chain;
+            s_shards;
+            s_cross_commits;
+            s_shard_counters;
+            s_shard_seqs;
+            s_shard_sizes;
+            s_shard_barriers;
           }
     | 9 ->
         let tag = P.read_string r in

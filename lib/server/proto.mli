@@ -42,6 +42,10 @@ type request =
       (** switch the connection to publish mode: stream archive frames
           from after the subscriber's chain position. Both fields are
           untrusted hints; the subscriber verifies every frame. *)
+  | List_backups  (** archive index: (backup id, archive name) pairs *)
+  | Fetch_backup of { name : string }
+      (** one archive stream by name — an opaque sealed backup frame the
+          client verifies and unseals locally under the device secret *)
 
 type stats = {
   s_sessions : int;  (** sessions currently connected *)
@@ -63,6 +67,12 @@ type stats = {
   s_backup_last_id : int;  (** backup/replication chain position (0 = none) *)
   s_backup_base_snapshot : int;  (** snapshot the next incremental diffs against; -1 = none *)
   s_backup_chain : string;  (** current backup hash-chain value ("" = never attached) *)
+  s_shards : int;  (** shard width of the chunk store (1 = unsharded) *)
+  s_cross_commits : int;  (** commits that took the cross-shard 2PC path *)
+  s_shard_counters : int64 list;  (** per-shard one-way counter values *)
+  s_shard_seqs : int list;  (** per-shard commit sequence numbers *)
+  s_shard_sizes : int list;  (** per-shard store sizes in bytes (log tail) *)
+  s_shard_barriers : int list;  (** per-shard staged group-commit barriers run *)
 }
 
 type response =

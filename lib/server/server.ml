@@ -307,7 +307,7 @@ let maybe_emit_incremental (t : t) : unit =
   | None -> ()
   | Some bs ->
       let interval =
-        (Tdb_chunk.Chunk_store.config (Object_store.chunk_store t.os)).Tdb_chunk.Config
+        (Tdb_chunk.Shard_store.config (Object_store.chunk_store t.os)).Tdb_chunk.Config
         .replica_interval_commits
       in
       if interval > 0 then begin
@@ -484,7 +484,7 @@ let handle_request (t : t) (s : session) (req : Proto.request) : Proto.response 
           | Some c -> Proto.Ok_int (Cstore.size ct c)))
   | Proto.Stats ->
       let cs = Object_store.chunk_store t.os in
-      let st = Tdb_chunk.Chunk_store.stats cs in
+      let st = Tdb_chunk.Shard_store.stats cs in
       let gb, gco =
         match t.gc with
         | None -> (0, 0)
@@ -506,20 +506,56 @@ let handle_request (t : t) (s : session) (req : Proto.request) : Proto.response 
           s_aborted;
           s_commits = st.Tdb_chunk.Chunk_store.commits;
           s_durable_commits = st.Tdb_chunk.Chunk_store.durable_commits;
-          s_counter = Tdb_chunk.Chunk_store.counter_value cs;
+          s_counter = Tdb_chunk.Shard_store.counter_value cs;
           s_gc_batches = gb;
           s_gc_coalesced = gco;
           s_cache_hits = st.Tdb_chunk.Chunk_store.cache_hits;
           s_cache_misses = st.Tdb_chunk.Chunk_store.cache_misses;
           s_cache_evictions = st.Tdb_chunk.Chunk_store.cache_evictions;
-          s_domains = Tdb_chunk.Chunk_store.domains cs;
+          s_domains = Tdb_chunk.Shard_store.domains cs;
           s_par_batches = st.Tdb_chunk.Chunk_store.par_batches;
           s_par_tasks = st.Tdb_chunk.Chunk_store.par_tasks;
           s_par_wait_us = st.Tdb_chunk.Chunk_store.par_wait_ns / 1000;
           s_backup_last_id = st.Tdb_chunk.Chunk_store.backup_last_id;
           s_backup_base_snapshot = st.Tdb_chunk.Chunk_store.backup_base_snapshot;
           s_backup_chain = st.Tdb_chunk.Chunk_store.backup_chain;
+          s_shards = Tdb_chunk.Shard_store.shards cs;
+          s_cross_commits = Tdb_chunk.Shard_store.cross_commits cs;
+          s_shard_counters = Array.to_list (Tdb_chunk.Shard_store.shard_counters cs);
+          s_shard_seqs = Array.to_list (Tdb_chunk.Shard_store.shard_seqs cs);
+          s_shard_sizes = Array.to_list (Tdb_chunk.Shard_store.shard_sizes cs);
+          s_shard_barriers = Array.to_list (Tdb_chunk.Shard_store.shard_barriers cs);
         }
+  | Proto.List_backups -> (
+      match t.backups with
+      | None -> reject "no_archive" "this server has no archive attached"
+      | Some bs ->
+          let module B = Tdb_backup.Backup_store in
+          let index =
+            Object_store.with_store t.os (fun _cs ->
+                Tdb_platform.Archival_store.list (B.archive bs)
+                |> List.filter_map (fun name ->
+                       match B.parse_name name with Some (id, _) -> Some (id, name) | None -> None)
+                |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
+          in
+          Proto.Ok_list index)
+  | Proto.Fetch_backup { name } -> (
+      match t.backups with
+      | None -> reject "no_archive" "this server has no archive attached"
+      | Some bs ->
+          let module B = Tdb_backup.Backup_store in
+          (* only names the archive itself could have produced: the name is
+             attacker-supplied input, not a path to resolve *)
+          (match B.parse_name name with
+          | None -> reject "not_found" "%S is not an archive stream name" name
+          | Some _ -> ());
+          let stream =
+            Object_store.with_store t.os (fun _cs ->
+                Tdb_platform.Archival_store.get (B.archive bs) ~name)
+          in
+          match stream with
+          | None -> reject "not_found" "archive stream %S not found" name
+          | Some s -> Proto.Ok_data s)
   | Proto.Bye -> Proto.Ok_unit
   | Proto.Subscribe _ ->
       (* reached only when the session loop could not switch this
@@ -643,8 +679,8 @@ let publish_loop (t : t) (s : session) (bs : Tdb_backup.Backup_store.t) ~(sub_la
             Proto.Rep_heartbeat
               {
                 h_last_id = st.last_id;
-                h_seq = Tdb_chunk.Chunk_store.commit_seq cs;
-                h_counter = Tdb_chunk.Chunk_store.counter_value cs;
+                h_seq = Tdb_chunk.Shard_store.commit_seq cs;
+                h_counter = Tdb_chunk.Shard_store.counter_value cs;
               }
           in
           (to_send, hb))

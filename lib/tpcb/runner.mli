@@ -18,6 +18,10 @@ type result = {
   alloc_words_per_txn : float;  (** GC words allocated per measured txn *)
   cache_hits : int;  (** TDB only: verified-chunk cache *)
   cache_misses : int;
+  shards : int;  (** chunk-store shard width (1 = unsharded) *)
+  cross_txn_fraction : float;
+      (** fraction of commits that spanned more than one shard (two-phase
+          commits); 0 when unsharded *)
 }
 
 val hit_rate : result -> float
@@ -28,11 +32,14 @@ val mean : float array -> float
 
 val run_tdb :
   ?security:bool -> ?max_utilization:float -> ?model:Sim_disk.model -> ?idle_every:int ->
-  ?domains:int -> Workload.scale -> result
+  ?domains:int -> ?shards:int -> ?affine:bool -> Workload.scale -> result
 (** [idle_every] injects idle-period maintenance (uncharged cleaning) every
     N transactions — the paper's DRM workload shape. [domains] sets the
     seal/unseal pipeline width (default:
-    {!Tdb_parallel.Pool.default_domains}). *)
+    {!Tdb_parallel.Pool.default_domains}). [shards] (default 1) runs the
+    benchmark over a branch-partitioned sharded store; [affine] switches
+    the input generator to {!Workload.gen_txn_affine} (use it for shard
+    sweeps at {e every} width so cross-shard fractions are comparable). *)
 
 val run_bdb : ?model:Sim_disk.model -> Workload.scale -> result
 

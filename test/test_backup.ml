@@ -35,7 +35,7 @@ let dump cs ids = List.filter_map (fun cid -> match Chunk_store.read cs cid with
 let test_full_roundtrip () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let ids = List.init 20 (fun i ->
       let cid = Chunk_store.allocate cs in
       Chunk_store.write cs cid (Printf.sprintf "record-%d" i);
@@ -45,13 +45,13 @@ let test_full_roundtrip () =
   let id = Backup_store.backup_full bs in
   Alcotest.(check int) "first backup id" 1 id;
   let target = fresh_target env in
-  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:target ());
+  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:(Shard_store.wrap target) ());
   Alcotest.(check (list (pair int string))) "restored contents" (dump cs ids) (dump target ids)
 
 let test_incremental_roundtrip () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let a = Chunk_store.allocate cs and b = Chunk_store.allocate cs and c = Chunk_store.allocate cs in
   Chunk_store.write cs a "a1"; Chunk_store.write cs b "b1"; Chunk_store.write cs c "c1";
   Chunk_store.commit cs;
@@ -65,7 +65,7 @@ let test_incremental_roundtrip () =
   Chunk_store.commit cs;
   ignore (Backup_store.backup_incremental bs);
   let target = fresh_target env in
-  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:target ());
+  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:(Shard_store.wrap target) ());
   Alcotest.(check (list (pair int string))) "final state" (dump cs [ a; b; c; d ]) (dump target [ a; b; c; d ]);
   Alcotest.(check bool) "c removed" true
     (match Chunk_store.read target c with exception Types.Not_written _ -> true | _ -> false)
@@ -73,7 +73,7 @@ let test_incremental_roundtrip () =
 let test_incremental_without_base_is_full () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let a = Chunk_store.allocate cs in
   Chunk_store.write cs a "x";
   Chunk_store.commit cs;
@@ -85,7 +85,7 @@ let test_incremental_without_base_is_full () =
 let test_restore_upto () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let a = Chunk_store.allocate cs in
   Chunk_store.write cs a "v1";
   Chunk_store.commit cs;
@@ -97,16 +97,16 @@ let test_restore_upto () =
   Chunk_store.commit cs;
   ignore (Backup_store.backup_incremental bs);
   let t1 = fresh_target env in
-  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~upto:2 ~into:t1 ());
+  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~upto:2 ~into:(Shard_store.wrap t1) ());
   Alcotest.(check string) "point-in-time" "v2" (Chunk_store.read t1 a);
   let t2 = fresh_target env in
-  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:t2 ());
+  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:(Shard_store.wrap t2) ());
   Alcotest.(check string) "latest" "v3" (Chunk_store.read t2 a)
 
 let test_missing_incremental_detected () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let a = Chunk_store.allocate cs in
   Chunk_store.write cs a "v1"; Chunk_store.commit cs;
   ignore (Backup_store.backup_full bs);
@@ -119,14 +119,14 @@ let test_missing_incremental_detected () =
   Archival_store.delete env.archive ~name:(Printf.sprintf "tdb-%06d-incr" id2);
   let target = fresh_target env in
   Alcotest.(check bool) "gap detected" true
-    (match Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:target () with
+    (match Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:(Shard_store.wrap target) () with
     | exception Backup_store.Invalid_backup _ -> true
     | _ -> false)
 
 let test_tampered_backup_rejected () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let a = Chunk_store.allocate cs in
   Chunk_store.write cs a "premium-credits=100";
   Chunk_store.commit cs;
@@ -137,14 +137,14 @@ let test_tampered_backup_rejected () =
   Archival_store.Mem.corrupt env.arch_h ~name ~pos:(len / 2) ~mask:0x10;
   let target = fresh_target env in
   Alcotest.(check bool) "rejected" true
-    (match Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:target () with
+    (match Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:(Shard_store.wrap target) () with
     | exception Backup_store.Invalid_backup _ -> true
     | _ -> false)
 
 let test_backup_encrypted () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let a = Chunk_store.allocate cs in
   let secret_data = "SECRET-LICENSE-KEY-42" in
   Chunk_store.write cs a secret_data;
@@ -162,7 +162,7 @@ let test_backup_encrypted () =
 let test_wrong_device_cannot_restore () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let a = Chunk_store.allocate cs in
   Chunk_store.write cs a "x";
   Chunk_store.commit cs;
@@ -172,14 +172,14 @@ let test_wrong_device_cannot_restore () =
   let _, ctr = One_way_counter.open_mem () in
   let target = Chunk_store.create ~config:cfg ~secret:other ~counter:ctr store in
   Alcotest.(check bool) "foreign secret fails" true
-    (match Backup_store.restore ~secret:other ~archive:env.archive ~into:target () with
+    (match Backup_store.restore ~secret:other ~archive:env.archive ~into:(Shard_store.wrap target) () with
     | exception Backup_store.Invalid_backup _ -> true
     | _ -> false)
 
 let test_restore_preserves_ids_across_reopen () =
   let env = fresh_env () in
   let cs = fresh_cs env in
-  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+  let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
   let ids = List.init 10 (fun i ->
       let cid = Chunk_store.allocate cs in
       Chunk_store.write cs cid (string_of_int i);
@@ -190,7 +190,7 @@ let test_restore_preserves_ids_across_reopen () =
   let _, store2 = Untrusted_store.open_mem () in
   let _, ctr2 = One_way_counter.open_mem () in
   let target = Chunk_store.create ~config:cfg ~secret:env.secret ~counter:ctr2 store2 in
-  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:target ());
+  ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:(Shard_store.wrap target) ());
   (* new allocations in the restored database must not collide *)
   let fresh = Chunk_store.allocate target in
   Alcotest.(check bool) "no id collision" true (not (List.mem fresh ids));
@@ -202,7 +202,7 @@ let test_many_incrementals_qcheck =
     (fun epochs ->
       let env = fresh_env () in
       let cs = fresh_cs env in
-      let bs = Backup_store.create ~secret:env.secret ~archive:env.archive cs in
+      let bs = Backup_store.create ~secret:env.secret ~archive:env.archive (Shard_store.wrap cs) in
       let key_to_cid = Hashtbl.create 16 in
       List.iteri
         (fun i batch ->
@@ -222,7 +222,7 @@ let test_many_incrementals_qcheck =
           if i = 0 then ignore (Backup_store.backup_full bs) else ignore (Backup_store.backup_incremental bs))
         epochs;
       let target = fresh_target env in
-      ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:target ());
+      ignore (Backup_store.restore ~secret:env.secret ~archive:env.archive ~into:(Shard_store.wrap target) ());
       Hashtbl.fold
         (fun _ cid ok -> ok && Chunk_store.read cs cid = Chunk_store.read target cid)
         key_to_cid true)

@@ -165,7 +165,7 @@ let test_oversized_backup_restore () =
   let secret = Secret_store.of_seed "backup-oversize" in
   let _, archive = Archival_store.open_mem () in
   let src = Chunk_store.create ~config:big_cfg ~secret ~counter:src_ctr src_store in
-  let bs = Backup_store.create ~secret ~archive src in
+  let bs = Backup_store.create ~secret ~archive (Shard_store.wrap src) in
   let a = Chunk_store.allocate src in
   Chunk_store.write src a (String.make 3000 'b');
   Chunk_store.commit src;
@@ -174,7 +174,7 @@ let test_oversized_backup_restore () =
   let _, tgt_store = Untrusted_store.open_mem () in
   let _, tgt_ctr = One_way_counter.open_mem () in
   let tgt = Chunk_store.create ~config:cfg ~secret ~counter:tgt_ctr tgt_store in
-  (match Backup_store.restore ~secret ~archive ~into:tgt () with
+  (match Backup_store.restore ~secret ~archive ~into:(Shard_store.wrap tgt) () with
   | n -> Alcotest.failf "restore of an impossible record succeeded (%d)" n
   | exception Backup_store.Invalid_backup _ -> ());
   (* the aborted restore left the target clean... *)
@@ -240,6 +240,28 @@ let test_tamper_smoke () =
   Alcotest.(check bool) "flips in live data detected" true (report.Crashfuzz.detected > 0);
   Alcotest.(check bool) "flips in garbage harmless" true (report.Crashfuzz.harmless > 0)
 
+(* Same sweep through a shard router: transfers spanning two shards commit
+   through the cross-shard 2PC, crashed at every store boundary between
+   prepare and commit — after recovery every shard must agree on each
+   transaction's outcome (no partial application). *)
+let test_crashfuzz_shard_2pc () =
+  let report =
+    Crashfuzz.sweep_shard_2pc ~shards:2 ~trace:Crashfuzz.smoke_trace ~seeds:2 ~stride:29 ()
+  in
+  Alcotest.(check bool) "swept a real trace" true (report.Crashfuzz.boundaries > 50);
+  Alcotest.(check bool) "crashed and recovered" true (report.Crashfuzz.recoveries > 0);
+  (match report.Crashfuzz.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%d violations, first: %s %s: %s"
+        (List.length report.Crashfuzz.violations)
+        v.Crashfuzz.v_run v.Crashfuzz.v_kind v.Crashfuzz.v_detail)
+
+let test_shard_tamper_smoke () =
+  let report = Crashfuzz.sweep_shard_tamper ~stride:53 ~shards:2 ~trace:Crashfuzz.smoke_trace () in
+  Alcotest.(check int) "no silent corruption" 0 report.Crashfuzz.silent;
+  Alcotest.(check bool) "flips in live data detected" true (report.Crashfuzz.detected > 0)
+
 let () =
   Alcotest.run "faultsim"
     [
@@ -261,5 +283,7 @@ let () =
           Alcotest.test_case "bounded group-commit sweep" `Slow test_crashfuzz_group_commit;
           Alcotest.test_case "bounded commit-flush sweep" `Slow test_crashfuzz_commit_flush;
           Alcotest.test_case "bounded tamper sweep" `Slow test_tamper_smoke;
+          Alcotest.test_case "bounded cross-shard 2PC sweep" `Slow test_crashfuzz_shard_2pc;
+          Alcotest.test_case "bounded shard tamper sweep" `Slow test_shard_tamper_smoke;
         ] );
     ]

@@ -50,6 +50,7 @@ let make_device () =
       secret = Tdb.Secret_store.of_seed device_seed;
       counter;
       archive;
+      extra = [||];
     } )
 
 let expose srv =

@@ -219,8 +219,140 @@ let test_stats_counters () =
       Alcotest.(check bool) "live sessions" true (s.Proto.s_sessions >= 4);
       Alcotest.(check bool) "sessions counted" true (s.Proto.s_sessions_total >= 4);
       Alcotest.(check bool) "commits counted" true (s.Proto.s_committed >= 4);
+      Alcotest.(check int) "unsharded store reports width 1" 1 s.Proto.s_shards;
+      Alcotest.(check int) "one per-shard counter" 1 (List.length s.Proto.s_shard_counters);
       List.iter Client.close clients;
       ignore (Sys.opaque_identity env.srv))
+
+(* --- remote restore: pull the archive over the wire, rebuild locally --- *)
+
+(* A server without an archive refuses the backup opcodes with a typed
+   error rather than dropping the session. *)
+let test_no_archive_refused () =
+  with_server (fun env ->
+      let c = Client.connect env.addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match Client.list_backups c with
+          | _ -> Alcotest.fail "archive listed without an archive"
+          | exception Client.Server_error { tag = "no_archive"; _ } -> ());
+          match Client.fetch_backup c ~name:"backup-000001-full" with
+          | _ -> Alcotest.fail "stream served without an archive"
+          | exception Client.Server_error { tag = "no_archive"; _ } -> ()))
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o600 dst in
+  output_string oc data;
+  close_out oc
+
+(* End-to-end remote point-in-time restore, the flow behind
+   [tdb remote-restore --upto]: a primary on disk takes a full backup and
+   two incrementals, a client lists and fetches the streams over the wire,
+   stages them into a fresh directory next to a copy of the device secret,
+   and the ordinary validated restore rebuilds the database — cut at
+   backup 2 ([--upto]) and at the newest. *)
+let test_remote_restore () =
+  let tmp = Filename.temp_file "tdb-remote-restore" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o700;
+  Fun.protect
+    ~finally:(fun () -> rm_rf tmp)
+    (fun () ->
+      let pdir = Filename.concat tmp "primary" in
+      Unix.mkdir pdir 0o700;
+      let db = Tdb.create (Tdb.Device.at_dir pdir) in
+      let ix = item_ix () in
+      Tdb.with_ctxn db (fun ct ->
+          let coll = Tdb.Cstore.create_collection ct ~name:"item" ~schema:item_cls ix in
+          ignore (Tdb.Cstore.insert ct coll { id = 1; qty = 1; label = "pit" }));
+      let set_qty q =
+        Tdb.with_ctxn db (fun ct ->
+            let coll =
+              Tdb.Cstore.open_collection ct ~name:"item" ~schema:item_cls
+                ~indexers:[ Tdb.Indexer.Generic ix ]
+            in
+            let it = Tdb.Cstore.exact ct coll ix 1 in
+            (Tdb.Cstore.write it).qty <- q;
+            Tdb.Cstore.advance it;
+            Tdb.Cstore.close it)
+      in
+      Alcotest.(check int) "full backup id" 1 (Tdb.backup_full db);
+      set_qty 2;
+      Alcotest.(check int) "incremental id" 2 (Tdb.backup_incremental db);
+      set_qty 3;
+      Alcotest.(check int) "incremental id" 3 (Tdb.backup_incremental db);
+      let srv = Server.create ~backups:db.Tdb.backups db.Tdb.objects (Server.Tcp ("127.0.0.1", 0)) in
+      Server.start srv;
+      let fetched =
+        Fun.protect
+          ~finally:(fun () -> Server.stop srv)
+          (fun () ->
+            let c = Client.connect (Server.Tcp ("127.0.0.1", Server.port srv)) in
+            Fun.protect
+              ~finally:(fun () -> Client.close c)
+              (fun () ->
+                let index = Client.list_backups c in
+                Alcotest.(check (list int)) "archive index ids" [ 1; 2; 3 ] (List.map fst index);
+                (match Client.fetch_backup c ~name:"no-such-stream" with
+                | _ -> Alcotest.fail "bogus stream name served"
+                | exception Client.Server_error { tag = "not_found"; _ } -> ());
+                List.map (fun (id, name) -> (id, name, Client.fetch_backup c ~name)) index))
+      in
+      Tdb.close db;
+      let qty_at dir =
+        let rdb = Tdb.open_existing (Tdb.Device.at_dir dir) in
+        Fun.protect
+          ~finally:(fun () -> Tdb.close rdb)
+          (fun () ->
+            Tdb.with_ctxn rdb (fun ct ->
+                let coll =
+                  Tdb.Cstore.open_collection ct ~name:"item" ~schema:item_cls
+                    ~indexers:[ Tdb.Indexer.Generic ix ]
+                in
+                let it = Tdb.Cstore.exact ct coll ix 1 in
+                let q = (Tdb.Cstore.read it).qty in
+                Tdb.Cstore.close it;
+                q))
+      in
+      let stage dir keep =
+        Unix.mkdir dir 0o700;
+        copy_file (Filename.concat pdir "secret") (Filename.concat dir "secret");
+        let bdir = Filename.concat dir "backups" in
+        Unix.mkdir bdir 0o700;
+        List.iter
+          (fun (id, name, stream) ->
+            if keep id then begin
+              let oc =
+                open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o600
+                  (Filename.concat bdir name)
+              in
+              output_string oc stream;
+              close_out oc
+            end)
+          fetched
+      in
+      let pit = Filename.concat tmp "pit" in
+      stage pit (fun id -> id <= 2);
+      let device = Tdb.Device.at_dir pit in
+      Tdb.close (Tdb.restore ~upto:2 ~from:device device);
+      Alcotest.(check int) "point-in-time state (--upto 2)" 2 (qty_at pit);
+      let full = Filename.concat tmp "full" in
+      stage full (fun _ -> true);
+      let device = Tdb.Device.at_dir full in
+      Tdb.close (Tdb.restore ~from:device device);
+      Alcotest.(check int) "newest state" 3 (qty_at full))
 
 let () =
   Alcotest.run "tdb_server"
@@ -240,5 +372,10 @@ let () =
         [
           Alcotest.test_case "4 concurrent clients, group commit" `Slow test_e2e_group_commit;
           Alcotest.test_case "group commit off control" `Slow test_e2e_no_group_commit;
+        ] );
+      ( "archive",
+        [
+          Alcotest.test_case "no archive refused" `Quick test_no_archive_refused;
+          Alcotest.test_case "remote point-in-time restore" `Quick test_remote_restore;
         ] );
     ]
