@@ -75,6 +75,12 @@ let status_cmd =
              else " (follower: applied, not emitted)")));
     Printf.printf "session:      %d commits, %d checkpoints, %d cleaning passes\n" st.Tdb.Chunk_store.commits
       st.Tdb.Chunk_store.checkpoints st.Tdb.Chunk_store.clean_passes;
+    (let tiers = (Tdb.Shard_store.config cs).Tdb.Chunk_config.tiers in
+     Printf.printf "cleaner:      %d tier%s [%s], %d segments cleaned, %d chunks (%s) relocated\n" tiers
+       (if tiers > 1 then "s" else "")
+       (String.concat " " (List.map string_of_int st.Tdb.Chunk_store.tier_segments))
+       st.Tdb.Chunk_store.segments_cleaned st.Tdb.Chunk_store.chunks_relocated
+       (human_bytes st.Tdb.Chunk_store.bytes_relocated));
     let ch = st.Tdb.Chunk_store.cache_hits and cm = st.Tdb.Chunk_store.cache_misses in
     let sum f = Array.fold_left (fun acc s -> acc + f (Tdb.Shard_store.shard_store cs s)) 0 (Array.init n Fun.id) in
     Printf.printf "chunk cache:  %s of %s (%d chunks), %d hits / %d misses%s, %d evictions\n"
@@ -223,6 +229,17 @@ let remote_status_cmd =
         Printf.printf "parallelism:     %d domains, %d pool batches (%d tasks), %.1f ms waited\n"
           s.Tdb.Proto.s_domains s.Tdb.Proto.s_par_batches s.Tdb.Proto.s_par_tasks
           (float_of_int s.Tdb.Proto.s_par_wait_us /. 1e3);
+        Printf.printf "cleaner:         %d tier%s [%s], %d passes, %d segments cleaned, %s relocated%s\n"
+          s.Tdb.Proto.s_tiers
+          (if s.Tdb.Proto.s_tiers > 1 then "s" else "")
+          (String.concat " " (List.map string_of_int s.Tdb.Proto.s_tier_segments))
+          s.Tdb.Proto.s_clean_passes s.Tdb.Proto.s_segments_cleaned
+          (human_bytes s.Tdb.Proto.s_bytes_relocated)
+          (if s.Tdb.Proto.s_bytes_data > s.Tdb.Proto.s_bytes_relocated then
+             Printf.sprintf " (write amp %.2f)"
+               (float_of_int s.Tdb.Proto.s_bytes_relocated
+               /. float_of_int (s.Tdb.Proto.s_bytes_data - s.Tdb.Proto.s_bytes_relocated))
+           else "");
         Printf.printf "backup chain:    %s\n"
           (if s.Tdb.Proto.s_backup_last_id = 0 then "(none)"
            else

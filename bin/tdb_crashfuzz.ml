@@ -16,6 +16,7 @@ let () =
   let quiet = ref false in
   let no_gc = ref false in
   let no_flush = ref false in
+  let no_demote = ref false in
   let no_replica = ref false in
   let no_shard = ref false in
   let shards = ref 0 in
@@ -30,6 +31,7 @@ let () =
       ("--seed", Arg.Set_string seed, "S  trace seed (default tdb-crashfuzz)");
       ("--no-group-commit", Arg.Set no_gc, "  skip the group-commit (staged barrier) sweep");
       ("--no-commit-flush", Arg.Set no_flush, "  skip the coalesced commit-flush (fragment boundary) sweep");
+      ("--no-demote", Arg.Set no_demote, "  skip the tiered-cleaner demotion sweep");
       ("--no-replica", Arg.Set no_replica, "  skip the replication-ingest crash and stream-tamper sweeps");
       ("--no-shard", Arg.Set no_shard, "  skip the cross-shard 2PC crash and tamper sweeps");
       ("--shards", Arg.Set_int shards, "N  shard width for the 2PC sweep (default: max 2 TDB_SHARDS)");
@@ -59,6 +61,15 @@ let () =
       let r = Tdb_faultsim.Crashfuzz.sweep_commit_flush ~progress ~trace ~seeds:!seeds ~stride:!stride () in
       if not !quiet then
         Printf.eprintf "\rcommit-flush sweep done: %d runs over %d boundaries\n%!" r.runs r.boundaries;
+      Some r
+    end
+  in
+  let demote =
+    if !no_demote then None
+    else begin
+      let r = Tdb_faultsim.Crashfuzz.sweep_demote ~progress ~trace ~seeds:!seeds ~stride:!stride () in
+      if not !quiet then
+        Printf.eprintf "\rdemote sweep done: %d runs over %d boundaries\n%!" r.runs r.boundaries;
       Some r
     end
   in
@@ -113,12 +124,13 @@ let () =
       tamper.harmless;
   let gc_violations = match gc with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   let flush_violations = match flush with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
+  let demote_violations = match demote with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   let replica_violations = match replica with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   let shard_violations = match shard_2pc with None -> [] | Some r -> r.Tdb_faultsim.Crashfuzz.violations in
   if !json then
     print_endline
-      (Tdb_faultsim.Crashfuzz.json_summary ?group_commit:gc ?commit_flush:flush ?replica ?replica_tamper
-         ?shard_2pc ?shard_tamper ~trace ~crash ~tamper ())
+      (Tdb_faultsim.Crashfuzz.json_summary ?group_commit:gc ?commit_flush:flush ?demote ?replica
+         ?replica_tamper ?shard_2pc ?shard_tamper ~trace ~crash ~tamper ())
   else begin
     Printf.printf "boundaries=%d crashpoints=%d seeds=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
       crash.boundaries crash.crashpoints crash.seeds crash.runs crash.crashes crash.recoveries
@@ -136,6 +148,14 @@ let () =
     | Some r ->
         Printf.printf
           "commit-flush: boundaries=%d crashpoints=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
+          r.Tdb_faultsim.Crashfuzz.boundaries r.Tdb_faultsim.Crashfuzz.crashpoints
+          r.Tdb_faultsim.Crashfuzz.runs r.Tdb_faultsim.Crashfuzz.crashes r.Tdb_faultsim.Crashfuzz.recoveries
+          (List.length r.Tdb_faultsim.Crashfuzz.violations));
+    (match demote with
+    | None -> ()
+    | Some r ->
+        Printf.printf
+          "demote: boundaries=%d crashpoints=%d runs=%d crashes=%d recoveries=%d violations=%d\n"
           r.Tdb_faultsim.Crashfuzz.boundaries r.Tdb_faultsim.Crashfuzz.crashpoints
           r.Tdb_faultsim.Crashfuzz.runs r.Tdb_faultsim.Crashfuzz.crashes r.Tdb_faultsim.Crashfuzz.recoveries
           (List.length r.Tdb_faultsim.Crashfuzz.violations));
@@ -173,10 +193,14 @@ let () =
       (fun v ->
         Printf.printf "VIOLATION %s %s: %s\n" v.Tdb_faultsim.Crashfuzz.v_run v.Tdb_faultsim.Crashfuzz.v_kind
           v.Tdb_faultsim.Crashfuzz.v_detail)
-      (crash.violations @ gc_violations @ flush_violations @ replica_violations @ shard_violations)
+      (crash.violations @ gc_violations @ flush_violations @ demote_violations @ replica_violations
+     @ shard_violations)
   end;
   let bad =
-    (match crash.violations @ gc_violations @ flush_violations @ replica_violations @ shard_violations with
+    (match
+       crash.violations @ gc_violations @ flush_violations @ demote_violations @ replica_violations
+       @ shard_violations
+     with
     | [] -> false
     | _ :: _ -> true)
     || tamper.silent > 0

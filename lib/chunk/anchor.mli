@@ -17,6 +17,10 @@ type payload = {
   next_id : int;
   chain : string;  (** commit-chain MAC value at checkpoint *)
   snapshots : (int * Types.entry option * int) list;  (** id, root, seq *)
+  tiers : (int * int) list;
+      (** [(segment, cleaning tier)] for tier > 0 segments; encoded only
+          when nonempty, so single-tier anchors stay byte-identical to the
+          pre-tier format (and old anchors decode to an empty table) *)
 }
 
 val encode : payload -> string

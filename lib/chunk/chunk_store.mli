@@ -195,6 +195,12 @@ type stats = {
   mutable clean_passes : int;
   mutable segments_cleaned : int;
   mutable chunks_relocated : int;
+  mutable bytes_relocated : int;
+      (** chunk ciphertext bytes the cleaner recopied — the numerator of
+          cleaner write amplification (relative to [bytes_data] committed) *)
+  mutable tier_segments : int list;
+      (** live-segment count per cleaning tier (gauge, refreshed by
+          {!stats}); a singleton list when [Config.tiers = 1] *)
   mutable tampers : int;
   mutable bytes_data : int;  (** chunk-record payload bytes appended *)
   mutable bytes_map : int;  (** map-node payload bytes appended *)

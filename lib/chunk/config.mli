@@ -58,6 +58,13 @@ type t = {
           composes (each with its own log, location map, anchor and
           one-way counter). 1 = single spine, byte-compatible with the
           unsharded store format; [TDB_SHARDS] overrides the default. *)
+  tiers : int;
+      (** Number of cleaning generations (hot → cold) the log is composed
+          of: fresh commit writes land in tier 0, cleaning survivors are
+          demoted one tier colder, and candidates are scored per tier by
+          cost-benefit instead of pure utilization. 1 = the classic
+          single-population cleaner, byte-identical to the untiered store
+          format; [TDB_TIERS] overrides the default. *)
 }
 
 val default : t
@@ -66,6 +73,10 @@ val default : t
 
 val default_shards : unit -> int
 (** The default shard count: [TDB_SHARDS] when set (validated to [1, 64]),
+    else 1. *)
+
+val default_tiers : unit -> int
+(** The default tier count: [TDB_TIERS] when set (validated to [1, 8]),
     else 1. *)
 
 val max_chunk_size : t -> int

@@ -665,7 +665,8 @@ let stats t : Chunk_store.stats =
   let agg =
     {
       commits = 0; durable_commits = 0; checkpoints = 0; clean_passes = 0; segments_cleaned = 0;
-      chunks_relocated = 0; tampers = 0; bytes_data = 0; bytes_map = 0; bytes_commit = 0;
+      chunks_relocated = 0; bytes_relocated = 0; tier_segments = [];
+      tampers = 0; bytes_data = 0; bytes_map = 0; bytes_commit = 0;
       grow_policy = 0; grow_fallback = 0; grow_backstop = 0; cache_hits = 0; cache_misses = 0;
       cache_evictions = 0; par_batches = 0; par_tasks = 0; par_wait_ns = 0;
       backup_last_id = (Chunk_store.stats t.shards.(0)).backup_last_id;
@@ -682,6 +683,15 @@ let stats t : Chunk_store.stats =
       agg.clean_passes <- agg.clean_passes + s.clean_passes;
       agg.segments_cleaned <- agg.segments_cleaned + s.segments_cleaned;
       agg.chunks_relocated <- agg.chunks_relocated + s.chunks_relocated;
+      agg.bytes_relocated <- agg.bytes_relocated + s.bytes_relocated;
+      (agg.tier_segments <-
+        (* element-wise sum; every shard shares [t.cfg.tiers], so the lists
+           line up (pad defensively if one differs) *)
+        (let a = agg.tier_segments and b = s.tier_segments in
+         let n = max (List.length a) (List.length b) in
+         List.init n (fun i ->
+             (match List.nth_opt a i with Some v -> v | None -> 0)
+             + match List.nth_opt b i with Some v -> v | None -> 0)));
       agg.tampers <- agg.tampers + s.tampers;
       agg.bytes_data <- agg.bytes_data + s.bytes_data;
       agg.bytes_map <- agg.bytes_map + s.bytes_map;

@@ -377,6 +377,51 @@ let run_epilogue ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
     commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor
   done
 
+(* Demotion phase A: drive explicit cleaning passes over a tiered store
+   ([demote_config] forces [tiers >= 2]) so the sweep crashes at every
+   I/O boundary of a demotion pass — mid-relocation, between a survivor's
+   re-append and the map update, and inside the checkpoint that seals the
+   pass. A skewed churn keeps hot-tier segments garbage-heavy while the
+   cold tail survives each pass, so every {!Chunk_store.clean} call
+   re-appends survivors one tier colder. [clean] is logical-state-neutral
+   (chunk versions are preserved across relocation), so the shadow
+   oracles apply unchanged; it ends in a checkpoint, which promotes every
+   issued commit to durable and bumps the one-way counter. *)
+let run_phase_demote ~trace ~cs ~sh ~rng ~cp_seen ~ctr ~hw_floor =
+  let n_base = trace.accounts + trace.tellers + trace.branches in
+  let base = Array.init n_base (fun _ -> Chunk_store.allocate cs) in
+  Array.iteri
+    (fun i cid ->
+      let data = pad (Printf.sprintf "base:%03d:init:%d" i (Drbg.int rng 1_000_000)) in
+      Chunk_store.write cs cid data;
+      shadow_write sh cid data)
+    base;
+  commit_shadow ~durable:true ~cs ~sh ~cp_seen ~ctr ~hw_floor;
+  let clean_now () =
+    Chunk_store.clean ~max_segments:store_config.Config.clean_batch cs;
+    (* checkpoint + pass + checkpoint: everything issued is now durable *)
+    sh.durable_lo <- sh.issued;
+    let hw = OWC.read ctr in
+    if Int64.compare hw !hw_floor > 0 then hw_floor := hw;
+    cp_seen := (Chunk_store.stats cs).Chunk_store.checkpoints
+  in
+  (* the hot head: overwrites concentrate here, so the segments holding
+     the cold tail accumulate garbage around live survivors — the exact
+     shape a demotion pass relocates *)
+  let hot = max 1 (n_base / 3) in
+  for i = 1 to trace.txns do
+    for j = 1 to 2 + Drbg.int rng 3 do
+      let cid = base.(Drbg.int rng hot) in
+      check_read cs sh cid;
+      let data = pad (Printf.sprintf "dem:%03d:txn:%04d:%d:%d" cid i j (Drbg.int rng 10_000)) in
+      Chunk_store.write cs cid data;
+      shadow_write sh cid data
+    done;
+    let durable = Int.equal (i mod trace.durable_every) 0 in
+    commit_shadow ~durable ~cs ~sh ~cp_seen ~ctr ~hw_floor;
+    if Int.equal (i mod 3) 0 then clean_now ()
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Oracles *)
 
@@ -429,10 +474,10 @@ let match_candidates cs sh = match_candidates_read ~read:(Chunk_store.read cs) s
 
 (* Reopen after a crash and run the recovery oracles. Returns the reopened
    store (with its counter) unless reopening itself failed. *)
-let reopen_and_check ~run ~violations ~env_db ~env_ctr ~secret ~sh ~hw_floor =
+let reopen_and_check ~config ~run ~violations ~env_db ~env_ctr ~secret ~sh ~hw_floor =
   match
     let ctr = OWC.open_store env_ctr in
-    let cs = Chunk_store.open_existing ~config:store_config ~secret ~counter:ctr env_db in
+    let cs = Chunk_store.open_existing ~config ~secret ~counter:ctr env_db in
     (ctr, cs)
   with
   | exception Types.Tamper_detected m -> add violations run "false-tamper" m; None
@@ -501,12 +546,12 @@ let tears = [| Fault_plan.Skip; Fault_plan.Torn; Fault_plan.Applied |]
 
 (* Run the trace once with the plan armed past the horizon to count the
    write/sync boundaries of the armed region. *)
-let record_boundaries ~phase_a ~trace =
+let record_boundaries ~config ~phase_a ~trace =
   let env = make_env () in
   let sh = shadow_create () in
   let rng = Drbg.create ~seed:(trace.seed ^ ":trace") in
   let ctr = OWC.open_store env.ctr_store in
-  let cs = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr env.db in
+  let cs = Chunk_store.create ~config ~secret:env.secret ~counter:ctr env.db in
   shadow_base sh;
   Fault_plan.arm env.plan ~at:max_int ~tear:Fault_plan.Skip;
   let hw_floor = ref (OWC.read ctr) in
@@ -519,7 +564,7 @@ let record_boundaries ~phase_a ~trace =
 (* One sweep cell: crash phase A at boundary [k], recover under the
    seeded persistence subset, then run the epilogue with a second seeded
    crashpoint and recover again. *)
-let one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
+let one_run ~config ~phase_a ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
   let env = make_env () in
   let sh = shadow_create () in
   let trace_rng = Drbg.create ~seed:(trace.seed ^ ":trace") in
@@ -528,7 +573,7 @@ let one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
   let crash_rng n = Drbg.int fault_rng n in
   let run = Printf.sprintf "k=%d seed=%d" k seed_idx in
   let ctr0 = OWC.open_store env.ctr_store in
-  let cs0 = Chunk_store.create ~config:store_config ~secret:env.secret ~counter:ctr0 env.db in
+  let cs0 = Chunk_store.create ~config ~secret:env.secret ~counter:ctr0 env.db in
   shadow_base sh;
   let hw_floor = ref (OWC.read ctr0) in
   let cp_seen = ref 0 in
@@ -539,8 +584,8 @@ let one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
     US.Mem.crash ~persist_prob ~rng:crash_rng env.db_mem;
     US.Mem.crash ~persist_prob ~rng:crash_rng env.ctr_mem;
     let r =
-      reopen_and_check ~run:(run ^ ":" ^ phase) ~violations ~env_db:env.db ~env_ctr:env.ctr_store
-        ~secret:env.secret ~sh ~hw_floor
+      reopen_and_check ~config ~run:(run ^ ":" ^ phase) ~violations ~env_db:env.db
+        ~env_ctr:env.ctr_store ~secret:env.secret ~sh ~hw_floor
     in
     if Option.is_some r then incr recoveries;
     r
@@ -552,8 +597,8 @@ let one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
       Chunk_store.close cs0;
       shadow_base sh;
       (match
-         reopen_and_check ~run:(run ^ ":clean") ~violations ~env_db:env.db ~env_ctr:env.ctr_store
-           ~secret:env.secret ~sh ~hw_floor
+         reopen_and_check ~config ~run:(run ^ ":clean") ~violations ~env_db:env.db
+           ~env_ctr:env.ctr_store ~secret:env.secret ~sh ~hw_floor
        with
       | Some (ctr, cs) -> finish_on cs ctr (ref 0)
       | None -> ())
@@ -580,8 +625,8 @@ let one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
               Chunk_store.close cs1;
               shadow_base sh;
               match
-                reopen_and_check ~run:(run ^ ":B-clean") ~violations ~env_db:env.db ~env_ctr:env.ctr_store
-                  ~secret:env.secret ~sh ~hw_floor
+                reopen_and_check ~config ~run:(run ^ ":B-clean") ~violations ~env_db:env.db
+                  ~env_ctr:env.ctr_store ~secret:env.secret ~sh ~hw_floor
               with
               | Some (ctr, cs) -> finish_on cs ctr (ref 0)
               | None -> ())
@@ -594,8 +639,8 @@ let one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k ~seed_idx =
           | exception e -> add violations (run ^ ":B") "workload-exception" (Printexc.to_string e)))
   | exception e -> add violations run "workload-exception" (Printexc.to_string e)
 
-let sweep ~phase_a ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
-  let boundaries = record_boundaries ~phase_a ~trace in
+let sweep ?(config = store_config) ~phase_a ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
+  let boundaries = record_boundaries ~config ~phase_a ~trace in
   let violations = ref [] in
   let runs = ref 0 and crashes = ref 0 and recoveries = ref 0 and crashpoints = ref 0 in
   let k = ref 0 in
@@ -604,7 +649,7 @@ let sweep ~phase_a ?(progress = fun _ _ -> ()) ~trace ~seeds ~stride () =
     incr crashpoints;
     for seed_idx = 0 to seeds - 1 do
       incr runs;
-      one_run ~phase_a ~trace ~violations ~crashes ~recoveries ~k:!k ~seed_idx
+      one_run ~config ~phase_a ~trace ~violations ~crashes ~recoveries ~k:!k ~seed_idx
     done;
     k := !k + stride
   done;
@@ -626,6 +671,14 @@ let sweep_group_commit ?progress ~trace ~seeds ~stride () =
 
 let sweep_commit_flush ?progress ~trace ~seeds ~stride () =
   sweep ~phase_a:run_phase_flush ?progress ~trace ~seeds ~stride ()
+
+(* The demote sweep must see a tiered cleaner even when the ambient
+   [Config.tiers] (TDB_TIERS) is 1; with more tiers configured it sweeps
+   the deeper lattice as-is. *)
+let demote_config = { store_config with Config.tiers = max 2 store_config.Config.tiers }
+
+let sweep_demote ?progress ~trace ~seeds ~stride () =
+  sweep ~config:demote_config ~phase_a:run_phase_demote ?progress ~trace ~seeds ~stride ()
 
 (* ------------------------------------------------------------------ *)
 (* Tamper sweep *)
@@ -1420,8 +1473,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let json_summary ?group_commit ?commit_flush ?replica ?replica_tamper ?shard_2pc ?shard_tamper ~trace
-    ~(crash : crash_report) ~(tamper : tamper_report) () : string =
+let json_summary ?group_commit ?commit_flush ?demote ?replica ?replica_tamper ?shard_2pc ?shard_tamper
+    ~trace ~(crash : crash_report) ~(tamper : tamper_report) () : string =
   let b = Buffer.create 1024 in
   let add_crash_report key (r : crash_report) =
     Buffer.add_string b
@@ -1444,6 +1497,7 @@ let json_summary ?group_commit ?commit_flush ?replica ?replica_tamper ?shard_2pc
   add_crash_report "crash" crash;
   (match group_commit with None -> () | Some r -> add_crash_report "group_commit" r);
   (match commit_flush with None -> () | Some r -> add_crash_report "commit_flush" r);
+  (match demote with None -> () | Some r -> add_crash_report "demote" r);
   (match replica with None -> () | Some r -> add_crash_report "replica" r);
   (match shard_2pc with None -> () | Some r -> add_crash_report "shard_2pc" r);
   let tamper_json key (r : tamper_report) =

@@ -68,6 +68,19 @@ val sweep_commit_flush :
     commit flush — any fragment-suffix loss must recover as an ordinary
     torn tail. *)
 
+val sweep_demote :
+  ?progress:(int -> int -> unit) -> trace:trace_cfg -> seeds:int -> stride:int -> unit -> crash_report
+(** Same sweep over a {e tiered} store ([Config.tiers] forced to at least
+    2, deeper if TDB_TIERS asks for more): phase A churns a Zipf-style
+    hot head over a settled population and drives explicit
+    {!Tdb_chunk.Chunk_store.clean} passes, so cold survivors are
+    re-appended one tier colder on every pass. With stride 1 this crashes
+    at every I/O boundary of a demotion pass — mid-relocation, between a
+    survivor's re-append and its location-map update, and inside the
+    checkpoint sealing the pass. Relocation is logical-state-neutral
+    (chunk versions are preserved), so the unchanged durability oracle
+    doubles as the demotion-correctness oracle. *)
+
 val sweep_replica :
   ?progress:(int -> int -> unit) -> trace:trace_cfg -> seeds:int -> stride:int -> unit -> crash_report
 (** Replication-ingest sweep: build a primary archive (full, incrementals,
@@ -131,6 +144,7 @@ val sweep_shard_tamper :
 val json_summary :
   ?group_commit:crash_report ->
   ?commit_flush:crash_report ->
+  ?demote:crash_report ->
   ?replica:crash_report ->
   ?replica_tamper:tamper_report ->
   ?shard_2pc:crash_report ->
@@ -142,7 +156,8 @@ val json_summary :
   string
 (** Machine-readable summary for the [tdb_crashfuzz] CLI.
     [group_commit], when present, is the {!sweep_group_commit} report;
-    [commit_flush] the {!sweep_commit_flush} report; [replica] the
+    [commit_flush] the {!sweep_commit_flush} report; [demote] the
+    {!sweep_demote} report; [replica] the
     {!sweep_replica} report and [replica_tamper] its tamper companion;
     [shard_2pc] the {!sweep_shard_2pc} report and [shard_tamper] its
     tamper companion. *)

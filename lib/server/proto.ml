@@ -17,7 +17,7 @@ exception Proto_error of string
 (** Malformed frame, unknown opcode, version mismatch, or oversized
     payload. *)
 
-let version = 5
+let version = 6
 let magic = "TDB\001"
 
 let default_max_frame = 4 * 1024 * 1024
@@ -84,6 +84,12 @@ type stats = {
   s_shard_seqs : int list;  (** per-shard commit sequence numbers *)
   s_shard_sizes : int list;  (** per-shard store sizes in bytes (log tail) *)
   s_shard_barriers : int list;  (** per-shard staged group-commit barriers run *)
+  s_clean_passes : int;  (** cleaning passes run (all shards) *)
+  s_segments_cleaned : int;  (** segments reclaimed by the cleaner *)
+  s_bytes_relocated : int;  (** chunk ciphertext bytes the cleaner recopied *)
+  s_bytes_data : int;  (** chunk payload bytes appended (write-amp denominator) *)
+  s_tiers : int;  (** configured cleaning generations (1 = single population) *)
+  s_tier_segments : int list;  (** live-segment count per cleaning tier, summed over shards *)
 }
 
 type response =
@@ -293,7 +299,13 @@ let encode_response (resp : response) : string =
       P.list w P.int64 s.s_shard_counters;
       P.list w P.uint s.s_shard_seqs;
       P.list w P.uint s.s_shard_sizes;
-      P.list w P.uint s.s_shard_barriers
+      P.list w P.uint s.s_shard_barriers;
+      P.uint w s.s_clean_passes;
+      P.uint w s.s_segments_cleaned;
+      P.uint w s.s_bytes_relocated;
+      P.uint w s.s_bytes_data;
+      P.uint w s.s_tiers;
+      P.list w P.uint s.s_tier_segments
   | Error_ { tag; msg } ->
       P.byte w 9;
       P.string w tag;
@@ -347,6 +359,12 @@ let decode_response (payload : string) : response =
         let s_shard_seqs = P.read_list r P.read_uint in
         let s_shard_sizes = P.read_list r P.read_uint in
         let s_shard_barriers = P.read_list r P.read_uint in
+        let s_clean_passes = P.read_uint r in
+        let s_segments_cleaned = P.read_uint r in
+        let s_bytes_relocated = P.read_uint r in
+        let s_bytes_data = P.read_uint r in
+        let s_tiers = P.read_uint r in
+        let s_tier_segments = P.read_list r P.read_uint in
         Ok_stats
           {
             s_sessions;
@@ -374,6 +392,12 @@ let decode_response (payload : string) : response =
             s_shard_seqs;
             s_shard_sizes;
             s_shard_barriers;
+            s_clean_passes;
+            s_segments_cleaned;
+            s_bytes_relocated;
+            s_bytes_data;
+            s_tiers;
+            s_tier_segments;
           }
     | 9 ->
         let tag = P.read_string r in

@@ -73,6 +73,12 @@ type stats = {
   s_shard_seqs : int list;  (** per-shard commit sequence numbers *)
   s_shard_sizes : int list;  (** per-shard store sizes in bytes (log tail) *)
   s_shard_barriers : int list;  (** per-shard staged group-commit barriers run *)
+  s_clean_passes : int;  (** cleaning passes run (all shards) *)
+  s_segments_cleaned : int;  (** segments reclaimed by the cleaner *)
+  s_bytes_relocated : int;  (** chunk ciphertext bytes the cleaner recopied *)
+  s_bytes_data : int;  (** chunk payload bytes appended (write-amp denominator) *)
+  s_tiers : int;  (** configured cleaning generations (1 = single population) *)
+  s_tier_segments : int list;  (** live-segment count per cleaning tier, summed over shards *)
 }
 
 type response =

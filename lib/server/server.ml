@@ -525,6 +525,12 @@ let handle_request (t : t) (s : session) (req : Proto.request) : Proto.response 
           s_shard_seqs = Array.to_list (Tdb_chunk.Shard_store.shard_seqs cs);
           s_shard_sizes = Array.to_list (Tdb_chunk.Shard_store.shard_sizes cs);
           s_shard_barriers = Array.to_list (Tdb_chunk.Shard_store.shard_barriers cs);
+          s_clean_passes = st.Tdb_chunk.Chunk_store.clean_passes;
+          s_segments_cleaned = st.Tdb_chunk.Chunk_store.segments_cleaned;
+          s_bytes_relocated = st.Tdb_chunk.Chunk_store.bytes_relocated;
+          s_bytes_data = st.Tdb_chunk.Chunk_store.bytes_data;
+          s_tiers = (Tdb_chunk.Shard_store.config cs).Tdb_chunk.Config.tiers;
+          s_tier_segments = st.Tdb_chunk.Chunk_store.tier_segments;
         }
   | Proto.List_backups -> (
       match t.backups with
